@@ -1,0 +1,94 @@
+// Command experiments regenerates every table and figure of the thesis'
+// evaluation chapter as text tables.
+//
+// Usage:
+//
+//	experiments             # run everything, in thesis order
+//	experiments -fig 4.5    # run one figure
+//	experiments -list       # list available figures
+//	experiments -csv DIR    # additionally write each figure's data as CSV
+//	experiments -seeds 5    # headline metrics across seeds, mean ± sd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fig := fs.String("fig", "", "run only this figure (e.g. 4.5)")
+	list := fs.Bool("list", false, "list available figures")
+	csvDir := fs.String("csv", "", "write each figure's data points as CSV into this directory")
+	seeds := fs.Int("seeds", 0, "rerun the headline metrics across N seeds and report mean ± sd")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seeds > 0 {
+		fmt.Printf("Headline metrics across %d seeds (mean ± sd [min, max]):\n\n", *seeds)
+		fmt.Print(scenario.RenderSweep(scenario.SweepFig42(*seeds, scenario.Fig42Params{})))
+		fmt.Print(scenario.RenderSweep(scenario.SweepBaseline(*seeds)))
+		return nil
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	exps := scenario.Experiments()
+	if *list {
+		for _, exp := range exps {
+			fmt.Printf("%-6s %s\n", exp.ID, exp.Title)
+		}
+		return nil
+	}
+
+	matched := false
+	for _, exp := range exps {
+		if *fig != "" && exp.ID != *fig {
+			continue
+		}
+		matched = true
+		fmt.Printf("=== Figure %s — %s ===\n\n", exp.ID, exp.Title)
+		result := exp.Run()
+		fmt.Println(result.Render())
+		if *csvDir != "" {
+			if cw, ok := result.(scenario.CSVWriter); ok {
+				path := filepath.Join(*csvDir, "fig"+strings.ReplaceAll(exp.ID, ".", "_")+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := cw.WriteCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("(data written to %s)\n\n", path)
+			}
+		}
+	}
+	if !matched {
+		known := make([]string, 0, len(exps))
+		for _, exp := range exps {
+			known = append(known, exp.ID)
+		}
+		return fmt.Errorf("unknown figure %q (have: %s)", *fig, strings.Join(known, ", "))
+	}
+	return nil
+}

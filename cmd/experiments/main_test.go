@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	err := run([]string{"-fig", "9.9"})
+	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("err = %v, want unknown-figure error", err)
+	}
+}
+
+func TestSingleFigureWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "4.9", "-csv", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4_9.csv"))
+	if err != nil {
+		t.Fatalf("csv missing: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "seq,") {
+		t.Fatalf("csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

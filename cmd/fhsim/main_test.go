@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunTable(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-hosts", "1", "-duration", "8s"}, f); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, _ := os.ReadFile(f.Name())
+	out := string(data)
+	for _, want := range []string{"flows:", "handoffs:", "real-time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-json", "-duration", "8s"}, f); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, _ := os.ReadFile(f.Name())
+	if !strings.Contains(string(data), "\"Flows\"") {
+		t.Error("JSON output missing Flows")
+	}
+}
+
+func TestParseSchemeAndClasses(t *testing.T) {
+	for _, name := range []string{"none", "original", "par", "dual", "enhanced"} {
+		if _, err := parseScheme(name); err != nil {
+			t.Errorf("parseScheme(%q): %v", name, err)
+		}
+	}
+	if _, err := parseScheme("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	flows, err := parseClasses("rt,hp,be,none", 160, 20*time.Millisecond)
+	if err != nil || len(flows) != 4 {
+		t.Fatalf("parseClasses: %v %v", flows, err)
+	}
+	if _, err := parseClasses("xx", 160, time.Millisecond); err == nil {
+		t.Error("bogus class accepted")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run([]string{"-scheme", "bogus"}, devnull); err == nil {
+		t.Fatal("bogus scheme flag accepted")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunNS2(t *testing.T) {
+	if err := run([]string{"-ns2", "-scheme", "dual", "-pool", "20"}); err != nil {
+		t.Fatalf("run -ns2: %v", err)
+	}
+}
+
+func TestRunBadScheme(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus"}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}

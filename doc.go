@@ -1,0 +1,8 @@
+// Package repro is the root of a from-scratch Go reproduction of
+// "An Enhanced Buffer Management Scheme for Fast Handover Protocol"
+// (Wei-Min Yao, National Chiao Tung University, 2003/2004).
+//
+// The public API lives in package repro/handover; the benchmark harness in
+// bench_test.go regenerates every figure of the thesis' evaluation
+// chapter. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,58 @@
+// VoIP roaming: a commuter on a 10 m/s ride bounces between two wireless
+// cells for two minutes while carrying a real-time voice call, a
+// high-priority signalling stream, and a best-effort sync stream. The
+// example compares how each buffering scheme treats the three classes
+// across the repeated handoffs — the paper's QoS story (Figures 4.3–4.5).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/handover"
+)
+
+func main() {
+	schemes := []struct {
+		name   string
+		scheme handover.Scheme
+		pool   int
+	}{
+		{"original fast handover (buffer=40)", handover.OriginalFH, 40},
+		{"proposed, classification off (buffer=20+20)", handover.Dual, 20},
+		{"proposed, classification on  (buffer=20+20)", handover.Enhanced, 20},
+	}
+
+	for _, sc := range schemes {
+		sim := handover.New(handover.Config{
+			Scheme:               sc.scheme,
+			RouterBufferPackets:  sc.pool,
+			Alpha:                6,
+			BufferRequestPackets: sc.pool,
+			Seed:                 1,
+		})
+		// 128 kb/s per stream: enough to pressure the buffers during each
+		// 200 ms blackout.
+		flow := func(c handover.Class) handover.Flow {
+			return handover.Flow{Class: c, PacketBytes: 160, Interval: 10 * time.Millisecond}
+		}
+		host := sim.AddMobileHost(handover.PingPongPath(20, 192, 10),
+			flow(handover.RealTime),
+			flow(handover.HighPriority),
+			flow(handover.BestEffort),
+		)
+		if err := sim.Run(2 * time.Minute); err != nil {
+			log.Fatal(err)
+		}
+
+		rep := sim.Report()
+		byClass := rep.LostByClass()
+		fmt.Printf("%s\n", sc.name)
+		fmt.Printf("  handoffs: %d\n", len(host.Handoffs()))
+		fmt.Printf("  lost voice (rt): %4d   signalling (hp): %4d   sync (be): %4d\n\n",
+			byClass[handover.RealTime], byClass[handover.HighPriority], byClass[handover.BestEffort])
+	}
+	fmt.Println("With classification on, the high-priority stream survives nearly untouched;")
+	fmt.Println("the scheme sacrifices best-effort and stale real-time packets instead.")
+}

@@ -1,0 +1,53 @@
+package handover
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TraceEvent is one entry of a protocol trace.
+type TraceEvent struct {
+	At time.Duration
+	// Kind is "control", "drop", "link-down", "link-up", "handoff",
+	// "deliver" or "note".
+	Kind string
+	// Node is the emitting element ("par", "nar", "mh0", …).
+	Node string
+	// Detail is the human-readable payload.
+	Detail string
+	// Seq carries the packet sequence number for deliveries and drops,
+	// -1 otherwise.
+	Seq int64
+}
+
+// EnableTrace starts recording the protocol trace (control messages,
+// drops, link transitions, handoffs, deliveries) for hosts added so far.
+// Call it after AddMobileHost and before Run. The limit bounds the stored
+// events (0 selects a large default).
+func (s *Simulation) EnableTrace(limit int) {
+	if s.traceLog != nil {
+		return
+	}
+	s.traceLog = trace.NewLog(limit)
+	s.tb.AttachTrace(s.traceLog)
+}
+
+// TraceEvents returns the recorded trace in time order (empty without
+// EnableTrace).
+func (s *Simulation) TraceEvents() []TraceEvent {
+	if s.traceLog == nil {
+		return nil
+	}
+	var out []TraceEvent
+	for _, ev := range s.traceLog.Events() {
+		out = append(out, TraceEvent{
+			At:     time.Duration(ev.At),
+			Kind:   ev.Kind.String(),
+			Node:   ev.Node,
+			Detail: ev.Detail,
+			Seq:    ev.Seq,
+		})
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/inet"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	buf := New(64, 4)
+	p := &inet.Packet{Class: inet.ClassHighPriority, Size: 160}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Push(p)
+		if buf.Full() {
+			for buf.Len() > 0 {
+				buf.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkPushDropHead(b *testing.B) {
+	buf := New(32, 0)
+	p := &inet.Packet{Class: inet.ClassRealTime, Size: 160}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.PushDropHead(p)
+	}
+}
+
+func BenchmarkDecide(b *testing.B) {
+	avail := Availability{NAR: true, PAR: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Decide(avail, inet.Class(i%4))
+	}
+}

@@ -1,0 +1,187 @@
+package buffer
+
+import (
+	"repro/internal/inet"
+)
+
+// DropReason classifies why the buffer rejected or evicted a packet.
+type DropReason int
+
+const (
+	// DropNone means the packet was accepted.
+	DropNone DropReason = iota
+	// DropFull means the buffer had no free slot (tail drop).
+	DropFull
+	// DropHead means a real-time packet was evicted to admit a newer one
+	// ("if buffer full, drop the first real-time packet", Table 3.3).
+	DropHead
+	// DropBelowAlpha means a best-effort packet was refused because free
+	// space was not above the α threshold (§3.2.2.2 Case 1.c).
+	DropBelowAlpha
+)
+
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "none"
+	case DropFull:
+		return "full"
+	case DropHead:
+		return "drop-head"
+	case DropBelowAlpha:
+		return "below-alpha"
+	default:
+		return "unknown"
+	}
+}
+
+// Buffer is one handoff session's FIFO packet store at an access router.
+// Its capacity is the space granted from the router's Pool during the
+// handover-initiation negotiation.
+type Buffer struct {
+	capacity int
+	alpha    int
+	items    []*inet.Packet
+
+	accepted uint64
+	dropped  map[inet.Class]uint64
+	evicted  uint64
+}
+
+// New creates a buffer holding up to capacity packets, with the given α
+// threshold for best-effort admission. α is a constant configured by the
+// network administrator in the thesis.
+func New(capacity, alpha int) *Buffer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	return &Buffer{
+		capacity: capacity,
+		alpha:    alpha,
+		dropped:  make(map[inet.Class]uint64),
+	}
+}
+
+// Len returns the number of buffered packets.
+func (b *Buffer) Len() int { return len(b.items) }
+
+// Cap returns the buffer capacity in packets.
+func (b *Buffer) Cap() int { return b.capacity }
+
+// Free returns the remaining capacity.
+func (b *Buffer) Free() int { return b.capacity - len(b.items) }
+
+// Full reports whether no slot remains.
+func (b *Buffer) Full() bool { return b.Free() <= 0 }
+
+// Alpha returns the admission threshold for best-effort packets.
+func (b *Buffer) Alpha() int { return b.alpha }
+
+// Accepted returns the number of packets admitted over the buffer's life.
+func (b *Buffer) Accepted() uint64 { return b.accepted }
+
+// Evicted returns the number of packets removed by drop-head evictions.
+func (b *Buffer) Evicted() uint64 { return b.evicted }
+
+// Dropped returns the number of packets of the given class the buffer
+// refused or evicted.
+func (b *Buffer) Dropped(c inet.Class) uint64 { return b.dropped[c.Effective()] }
+
+// DroppedTotal returns all refused or evicted packets.
+func (b *Buffer) DroppedTotal() uint64 {
+	var total uint64
+	for _, n := range b.dropped {
+		total += n
+	}
+	return total
+}
+
+// Push appends pkt, tail-dropping it when the buffer is full. It returns
+// the drop reason (DropNone on success).
+func (b *Buffer) Push(pkt *inet.Packet) DropReason {
+	if b.Full() {
+		b.countDrop(pkt)
+		return DropFull
+	}
+	b.items = append(b.items, pkt)
+	b.accepted++
+	return DropNone
+}
+
+// PushDropHead appends pkt, evicting the oldest *real-time* packet to make
+// room when full ("if buffer full, drop the first real-time packet",
+// Table 3.3: stale real-time packets are worthless, and other classes
+// sharing the buffer must not be sacrificed for them). It returns the
+// evicted packet (nil if none) and the drop reason. When the buffer is
+// full and holds no real-time packet, the incoming packet is dropped
+// instead.
+func (b *Buffer) PushDropHead(pkt *inet.Packet) (evicted *inet.Packet, reason DropReason) {
+	if b.capacity == 0 {
+		b.countDrop(pkt)
+		return nil, DropFull
+	}
+	if b.Full() {
+		idx := -1
+		for i, p := range b.items {
+			if p.EffectiveClass() == inet.ClassRealTime {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			b.countDrop(pkt)
+			return nil, DropFull
+		}
+		evicted = b.items[idx]
+		copy(b.items[idx:], b.items[idx+1:])
+		b.items = b.items[:len(b.items)-1]
+		b.evicted++
+		b.countDrop(evicted)
+		reason = DropHead
+	}
+	b.items = append(b.items, pkt)
+	b.accepted++
+	return evicted, reason
+}
+
+// PushIfAboveAlpha appends pkt only while free space exceeds α (best-effort
+// admission, Case 1.c / 3.c). It returns the drop reason.
+func (b *Buffer) PushIfAboveAlpha(pkt *inet.Packet) DropReason {
+	if b.Free() <= b.alpha {
+		b.countDrop(pkt)
+		return DropBelowAlpha
+	}
+	b.items = append(b.items, pkt)
+	b.accepted++
+	return DropNone
+}
+
+// Pop removes and returns the oldest packet, or nil when empty.
+func (b *Buffer) Pop() *inet.Packet {
+	if len(b.items) == 0 {
+		return nil
+	}
+	pkt := b.items[0]
+	copy(b.items, b.items[1:])
+	b.items = b.items[:len(b.items)-1]
+	return pkt
+}
+
+// Drain removes and returns all packets in FIFO order.
+func (b *Buffer) Drain() []*inet.Packet {
+	out := b.items
+	b.items = nil
+	return out
+}
+
+// Clear discards the contents without counting drops (used when a session's
+// lifetime expires after the packets were already forwarded elsewhere).
+func (b *Buffer) Clear() { b.items = nil }
+
+func (b *Buffer) countDrop(pkt *inet.Packet) {
+	b.dropped[pkt.EffectiveClass()]++
+}

@@ -1,0 +1,411 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/inet"
+)
+
+func pkt(class inet.Class, seq uint32) *inet.Packet {
+	return &inet.Packet{Proto: inet.ProtoUDP, Class: class, Seq: seq, Size: 160}
+}
+
+func TestPoolReserveRelease(t *testing.T) {
+	p := NewPool(50)
+	if p.Capacity() != 50 || p.Available() != 50 {
+		t.Fatalf("new pool: cap=%d avail=%d", p.Capacity(), p.Available())
+	}
+	if !p.Reserve(10) {
+		t.Fatal("Reserve(10) failed on empty pool")
+	}
+	if p.Reserved() != 10 || p.Available() != 40 {
+		t.Fatalf("after reserve: reserved=%d avail=%d", p.Reserved(), p.Available())
+	}
+	if p.Reserve(41) {
+		t.Fatal("Reserve(41) succeeded beyond capacity")
+	}
+	if !p.Reserve(40) {
+		t.Fatal("Reserve(40) failed with exactly 40 available")
+	}
+	p.Release(10)
+	if p.Available() != 10 {
+		t.Fatalf("after release: avail=%d, want 10", p.Available())
+	}
+}
+
+func TestPoolScalabilityExample(t *testing.T) {
+	// The thesis' motivating example: 50-packet buffer, 10 packets per
+	// handoff, at most 5 simultaneous users.
+	p := NewPool(50)
+	granted := 0
+	for i := 0; i < 8; i++ {
+		if p.Reserve(10) {
+			granted++
+		}
+	}
+	if granted != 5 {
+		t.Fatalf("granted %d reservations, want 5", granted)
+	}
+}
+
+func TestPoolRejectsNonPositive(t *testing.T) {
+	p := NewPool(10)
+	if p.Reserve(0) || p.Reserve(-3) {
+		t.Fatal("non-positive reservation granted")
+	}
+}
+
+func TestPoolZeroCapacity(t *testing.T) {
+	p := NewPool(0)
+	if p.Reserve(1) {
+		t.Fatal("zero-capacity pool granted a reservation")
+	}
+	p2 := NewPool(-5)
+	if p2.Capacity() != 0 {
+		t.Fatalf("negative capacity clamped to %d, want 0", p2.Capacity())
+	}
+}
+
+func TestPoolReleasePanicsOnOverRelease(t *testing.T) {
+	p := NewPool(10)
+	p.Reserve(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	p.Release(6)
+}
+
+func TestBufferFIFO(t *testing.T) {
+	b := New(5, 0)
+	for i := uint32(0); i < 3; i++ {
+		if r := b.Push(pkt(inet.ClassHighPriority, i)); r != DropNone {
+			t.Fatalf("Push #%d: %v", i, r)
+		}
+	}
+	for i := uint32(0); i < 3; i++ {
+		got := b.Pop()
+		if got == nil || got.Seq != i {
+			t.Fatalf("Pop = %v, want seq %d", got, i)
+		}
+	}
+	if b.Pop() != nil {
+		t.Fatal("Pop on empty buffer returned a packet")
+	}
+}
+
+func TestBufferTailDrop(t *testing.T) {
+	b := New(2, 0)
+	b.Push(pkt(inet.ClassHighPriority, 1))
+	b.Push(pkt(inet.ClassHighPriority, 2))
+	if r := b.Push(pkt(inet.ClassHighPriority, 3)); r != DropFull {
+		t.Fatalf("Push on full buffer = %v, want DropFull", r)
+	}
+	if b.Dropped(inet.ClassHighPriority) != 1 {
+		t.Fatalf("Dropped = %d, want 1", b.Dropped(inet.ClassHighPriority))
+	}
+	// FIFO content unchanged: 1, 2.
+	if got := b.Pop(); got.Seq != 1 {
+		t.Fatalf("Pop = seq %d, want 1", got.Seq)
+	}
+}
+
+func TestBufferDropHeadEvictsOldest(t *testing.T) {
+	b := New(2, 0)
+	b.PushDropHead(pkt(inet.ClassRealTime, 1))
+	b.PushDropHead(pkt(inet.ClassRealTime, 2))
+	evicted, reason := b.PushDropHead(pkt(inet.ClassRealTime, 3))
+	if reason != DropHead {
+		t.Fatalf("reason = %v, want DropHead", reason)
+	}
+	if evicted == nil || evicted.Seq != 1 {
+		t.Fatalf("evicted = %v, want seq 1", evicted)
+	}
+	if b.Evicted() != 1 {
+		t.Fatalf("Evicted() = %d, want 1", b.Evicted())
+	}
+	// Newest packets survive: 2, 3.
+	if got := b.Pop(); got.Seq != 2 {
+		t.Fatalf("Pop = seq %d, want 2", got.Seq)
+	}
+	if got := b.Pop(); got.Seq != 3 {
+		t.Fatalf("Pop = seq %d, want 3", got.Seq)
+	}
+}
+
+func TestBufferDropHeadZeroCapacity(t *testing.T) {
+	b := New(0, 0)
+	evicted, reason := b.PushDropHead(pkt(inet.ClassRealTime, 1))
+	if evicted != nil || reason != DropFull {
+		t.Fatalf("zero-cap PushDropHead = (%v, %v), want (nil, DropFull)", evicted, reason)
+	}
+	if b.Len() != 0 {
+		t.Fatal("zero-cap buffer stored a packet")
+	}
+}
+
+func TestBufferAlphaAdmission(t *testing.T) {
+	// Capacity 5, α=2: best-effort admitted only while free > 2, i.e. at
+	// most 3 best-effort packets.
+	b := New(5, 2)
+	admitted := 0
+	for i := uint32(0); i < 6; i++ {
+		if b.PushIfAboveAlpha(pkt(inet.ClassBestEffort, i)) == DropNone {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted %d best-effort packets, want 3", admitted)
+	}
+	if b.Dropped(inet.ClassBestEffort) != 3 {
+		t.Fatalf("Dropped = %d, want 3", b.Dropped(inet.ClassBestEffort))
+	}
+	// High-priority pushes still fill the α reserve.
+	if r := b.Push(pkt(inet.ClassHighPriority, 9)); r != DropNone {
+		t.Fatalf("HP Push into α reserve = %v, want DropNone", r)
+	}
+}
+
+func TestBufferDrain(t *testing.T) {
+	b := New(4, 0)
+	for i := uint32(0); i < 4; i++ {
+		b.Push(pkt(inet.ClassHighPriority, i))
+	}
+	out := b.Drain()
+	if len(out) != 4 {
+		t.Fatalf("Drain returned %d packets, want 4", len(out))
+	}
+	for i, p := range out {
+		if p.Seq != uint32(i) {
+			t.Fatalf("Drain order broken: %v", out)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatal("buffer not empty after Drain")
+	}
+}
+
+func TestBufferClearCountsNoDrops(t *testing.T) {
+	b := New(4, 0)
+	b.Push(pkt(inet.ClassHighPriority, 1))
+	b.Clear()
+	if b.Len() != 0 || b.DroppedTotal() != 0 {
+		t.Fatalf("after Clear: len=%d drops=%d", b.Len(), b.DroppedTotal())
+	}
+}
+
+func TestBufferUnspecifiedCountsAsBestEffort(t *testing.T) {
+	b := New(0, 0)
+	b.Push(pkt(inet.ClassUnspecified, 1))
+	if b.Dropped(inet.ClassBestEffort) != 1 {
+		t.Fatal("unspecified-class drop not counted as best effort")
+	}
+	if b.Dropped(inet.ClassUnspecified) != 1 {
+		t.Fatal("Dropped(unspecified) should resolve to best effort")
+	}
+}
+
+func TestDropReasonString(t *testing.T) {
+	tests := []struct {
+		give DropReason
+		want string
+	}{
+		{DropNone, "none"},
+		{DropFull, "full"},
+		{DropHead, "drop-head"},
+		{DropBelowAlpha, "below-alpha"},
+		{DropReason(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// Property: the buffer never exceeds its capacity and never loses FIFO
+// order, whatever mix of operations is applied.
+func TestPropertyBufferInvariants(t *testing.T) {
+	type step struct {
+		Op    uint8 // 0 push, 1 drop-head push, 2 alpha push, 3 pop
+		Class uint8
+	}
+	f := func(capacity uint8, alphaRaw uint8, steps []step) bool {
+		capInt := int(capacity % 16)
+		alpha := int(alphaRaw % 8)
+		b := New(capInt, alpha)
+		var nextSeq uint32
+		var lastPopped int64 = -1
+		for _, s := range steps {
+			class := inet.Class(s.Class % 4)
+			switch s.Op % 4 {
+			case 0:
+				b.Push(pkt(class, nextSeq))
+				nextSeq++
+			case 1:
+				b.PushDropHead(pkt(class, nextSeq))
+				nextSeq++
+			case 2:
+				b.PushIfAboveAlpha(pkt(class, nextSeq))
+				nextSeq++
+			case 3:
+				if p := b.Pop(); p != nil {
+					if int64(p.Seq) <= lastPopped {
+						return false // FIFO order violated
+					}
+					lastPopped = int64(p.Seq)
+				}
+			}
+			if b.Len() > b.Cap() {
+				return false // capacity exceeded
+			}
+			if b.Free() < 0 {
+				return false
+			}
+		}
+		// Remaining contents must still be in increasing-seq order.
+		prev := lastPopped
+		for _, p := range b.Drain() {
+			if int64(p.Seq) <= prev {
+				return false
+			}
+			prev = int64(p.Seq)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accepted + dropped equals the number of offered packets.
+func TestPropertyBufferAccounting(t *testing.T) {
+	f := func(capacity uint8, offers []uint8) bool {
+		b := New(int(capacity%8), 1)
+		var offered uint64
+		for _, o := range offers {
+			class := inet.Class(o % 4)
+			switch o % 3 {
+			case 0:
+				b.Push(pkt(class, 0))
+			case 1:
+				b.PushDropHead(pkt(class, 0))
+			case 2:
+				b.PushIfAboveAlpha(pkt(class, 0))
+			}
+			offered++
+		}
+		// Drop-head evictions both accept the new packet and drop an old
+		// one, so: accepted + dropped == offered + evicted.
+		return b.Accepted()+b.DroppedTotal() == offered+b.Evicted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pool accounting never goes negative or beyond capacity.
+func TestPropertyPoolInvariant(t *testing.T) {
+	f := func(capacity uint8, ops []int8) bool {
+		p := NewPool(int(capacity))
+		var granted []int
+		for _, op := range ops {
+			if op >= 0 {
+				n := int(op%16) + 1
+				if p.Reserve(n) {
+					granted = append(granted, n)
+				}
+			} else if len(granted) > 0 {
+				p.Release(granted[len(granted)-1])
+				granted = granted[:len(granted)-1]
+			}
+			if p.Reserved() < 0 || p.Reserved() > p.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferDropHeadProtectsOtherClasses(t *testing.T) {
+	// A full buffer holding high-priority packets must not evict them to
+	// admit real-time arrivals (Table 3.3: "drop the first real-time
+	// packet").
+	b := New(3, 0)
+	b.Push(pkt(inet.ClassHighPriority, 1))
+	b.PushDropHead(pkt(inet.ClassRealTime, 2))
+	b.Push(pkt(inet.ClassHighPriority, 3))
+
+	// Full: 1(HP), 2(RT), 3(HP). A new RT packet evicts the RT one even
+	// though it is not at the head.
+	evicted, reason := b.PushDropHead(pkt(inet.ClassRealTime, 4))
+	if reason != DropHead || evicted == nil || evicted.Seq != 2 {
+		t.Fatalf("evicted %v (%v), want RT seq 2", evicted, reason)
+	}
+	// Now full with 1(HP), 3(HP), 4(RT): another RT evicts seq 4.
+	evicted, _ = b.PushDropHead(pkt(inet.ClassRealTime, 5))
+	if evicted == nil || evicted.Seq != 4 {
+		t.Fatalf("evicted %v, want RT seq 4", evicted)
+	}
+	// Drain order preserved for survivors.
+	if got := b.Pop(); got.Seq != 1 {
+		t.Fatalf("Pop = %d, want 1", got.Seq)
+	}
+}
+
+func TestBufferDropHeadFullOfOtherClassesDropsIncoming(t *testing.T) {
+	b := New(2, 0)
+	b.Push(pkt(inet.ClassHighPriority, 1))
+	b.Push(pkt(inet.ClassHighPriority, 2))
+	evicted, reason := b.PushDropHead(pkt(inet.ClassRealTime, 3))
+	if evicted != nil || reason != DropFull {
+		t.Fatalf("got (%v, %v), want (nil, DropFull)", evicted, reason)
+	}
+	if b.Len() != 2 || b.Dropped(inet.ClassRealTime) != 1 {
+		t.Fatalf("len=%d rtDrops=%d, want 2/1", b.Len(), b.Dropped(inet.ClassRealTime))
+	}
+}
+
+func TestPoolReservePartial(t *testing.T) {
+	p := NewPool(50)
+	if got := p.ReservePartial(30); got != 30 {
+		t.Fatalf("ReservePartial(30) = %d, want 30", got)
+	}
+	// Only 20 left: a 30-packet request gets the remainder.
+	if got := p.ReservePartial(30); got != 20 {
+		t.Fatalf("ReservePartial(30) = %d, want 20", got)
+	}
+	if got := p.ReservePartial(5); got != 0 {
+		t.Fatalf("ReservePartial on empty pool = %d, want 0", got)
+	}
+	if got := p.ReservePartial(-1); got != 0 {
+		t.Fatalf("ReservePartial(-1) = %d, want 0", got)
+	}
+	p.Release(50)
+	if p.Available() != 50 {
+		t.Fatalf("Available = %d after release, want 50", p.Available())
+	}
+}
+
+// Property: ReservePartial never over-commits the pool.
+func TestPropertyReservePartialBounded(t *testing.T) {
+	f := func(capacity uint8, requests []uint8) bool {
+		p := NewPool(int(capacity))
+		var granted int
+		for _, r := range requests {
+			granted += p.ReservePartial(int(r))
+			if p.Reserved() > p.Capacity() || p.Reserved() != granted {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

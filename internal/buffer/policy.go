@@ -1,0 +1,127 @@
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/inet"
+)
+
+// Op is a buffering operation from Table 3.3 of the thesis. It tells the
+// PAR what to do with a packet redirected during the handoff blackout.
+type Op int
+
+const (
+	// OpBufferNARDropHead — forward to the NAR and buffer there; when the
+	// NAR buffer is full, drop the oldest buffered real-time packet
+	// (Cases 1.a, 2.a).
+	OpBufferNARDropHead Op = iota + 1
+	// OpBufferNAR — forward to the NAR and buffer there; tail-drop when
+	// full (Case 2.b).
+	OpBufferNAR
+	// OpBufferBoth — forward to the NAR and buffer there; when the NAR
+	// buffer fills, the NAR sends BufferFull and the PAR buffers the rest
+	// (Case 1.b).
+	OpBufferBoth
+	// OpBufferPAR — buffer at the PAR (Case 3.b).
+	OpBufferPAR
+	// OpBufferPARAlpha — buffer at the PAR only while its free space
+	// exceeds α (Cases 1.c, 3.c).
+	OpBufferPARAlpha
+	// OpForward — tunnel to the NAR without buffering; the packet is lost
+	// if the mobile host is still detached (Cases 2.c, 3.a, 4.a, 4.b).
+	OpForward
+	// OpDrop — drop at the PAR to ease network load (Case 4.c).
+	OpDrop
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpBufferNARDropHead:
+		return "buffer-at-nar-drop-head"
+	case OpBufferNAR:
+		return "buffer-at-nar"
+	case OpBufferBoth:
+		return "buffer-at-both"
+	case OpBufferPAR:
+		return "buffer-at-par"
+	case OpBufferPARAlpha:
+		return "buffer-at-par-alpha"
+	case OpForward:
+		return "forward-only"
+	case OpDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// BuffersAtNAR reports whether the operation stores packets at the NAR.
+func (o Op) BuffersAtNAR() bool {
+	return o == OpBufferNARDropHead || o == OpBufferNAR || o == OpBufferBoth
+}
+
+// BuffersAtPAR reports whether the operation may store packets at the PAR.
+func (o Op) BuffersAtPAR() bool {
+	return o == OpBufferBoth || o == OpBufferPAR || o == OpBufferPARAlpha
+}
+
+// Availability is the outcome of the handover-initiation negotiation: which
+// of the two access routers granted the requested buffer space (Table 3.2's
+// four cases).
+type Availability struct {
+	NAR bool
+	PAR bool
+}
+
+// Case returns the thesis' case number (1–4) for the availability pair.
+func (a Availability) Case() int {
+	switch {
+	case a.NAR && a.PAR:
+		return 1
+	case a.NAR:
+		return 2
+	case a.PAR:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// String implements fmt.Stringer.
+func (a Availability) String() string {
+	return fmt.Sprintf("case%d(nar=%t,par=%t)", a.Case(), a.NAR, a.PAR)
+}
+
+// Decide returns the Table 3.3 buffering operation for a packet of the
+// given class under the negotiated availability. Unspecified classes are
+// treated as best effort (Table 3.1).
+func Decide(avail Availability, class inet.Class) Op {
+	switch class.Effective() {
+	case inet.ClassRealTime:
+		if avail.NAR {
+			return OpBufferNARDropHead // Cases 1.a, 2.a
+		}
+		return OpForward // Cases 3.a, 4.a
+	case inet.ClassHighPriority:
+		switch {
+		case avail.NAR && avail.PAR:
+			return OpBufferBoth // Case 1.b
+		case avail.NAR:
+			return OpBufferNAR // Case 2.b
+		case avail.PAR:
+			return OpBufferPAR // Case 3.b
+		default:
+			return OpForward // Case 4.b
+		}
+	default: // best effort
+		switch {
+		case avail.PAR:
+			return OpBufferPARAlpha // Cases 1.c, 3.c
+		case avail.NAR:
+			return OpForward // Case 2.c
+		default:
+			return OpDrop // Case 4.c
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package buffer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/inet"
+)
+
+// TestPolicyMatrix pins the full Table 3.3 of the thesis.
+func TestPolicyMatrix(t *testing.T) {
+	tests := []struct {
+		name  string
+		avail Availability
+		class inet.Class
+		want  Op
+	}{
+		// Case 1: NAR yes, PAR yes.
+		{"case1 real-time", Availability{NAR: true, PAR: true}, inet.ClassRealTime, OpBufferNARDropHead},
+		{"case1 high-priority", Availability{NAR: true, PAR: true}, inet.ClassHighPriority, OpBufferBoth},
+		{"case1 best-effort", Availability{NAR: true, PAR: true}, inet.ClassBestEffort, OpBufferPARAlpha},
+		// Case 2: NAR yes, PAR no.
+		{"case2 real-time", Availability{NAR: true}, inet.ClassRealTime, OpBufferNARDropHead},
+		{"case2 high-priority", Availability{NAR: true}, inet.ClassHighPriority, OpBufferNAR},
+		{"case2 best-effort", Availability{NAR: true}, inet.ClassBestEffort, OpForward},
+		// Case 3: NAR no, PAR yes.
+		{"case3 real-time", Availability{PAR: true}, inet.ClassRealTime, OpForward},
+		{"case3 high-priority", Availability{PAR: true}, inet.ClassHighPriority, OpBufferPAR},
+		{"case3 best-effort", Availability{PAR: true}, inet.ClassBestEffort, OpBufferPARAlpha},
+		// Case 4: neither.
+		{"case4 real-time", Availability{}, inet.ClassRealTime, OpForward},
+		{"case4 high-priority", Availability{}, inet.ClassHighPriority, OpForward},
+		{"case4 best-effort", Availability{}, inet.ClassBestEffort, OpDrop},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Decide(tt.avail, tt.class); got != tt.want {
+				t.Fatalf("Decide(%v, %v) = %v, want %v", tt.avail, tt.class, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecideUnspecifiedIsBestEffort(t *testing.T) {
+	for _, avail := range []Availability{
+		{NAR: true, PAR: true}, {NAR: true}, {PAR: true}, {},
+	} {
+		want := Decide(avail, inet.ClassBestEffort)
+		if got := Decide(avail, inet.ClassUnspecified); got != want {
+			t.Errorf("Decide(%v, unspecified) = %v, want best-effort's %v", avail, got, want)
+		}
+	}
+}
+
+func TestAvailabilityCase(t *testing.T) {
+	tests := []struct {
+		give Availability
+		want int
+	}{
+		{Availability{NAR: true, PAR: true}, 1},
+		{Availability{NAR: true}, 2},
+		{Availability{PAR: true}, 3},
+		{Availability{}, 4},
+	}
+	for _, tt := range tests {
+		if got := tt.give.Case(); got != tt.want {
+			t.Errorf("%v.Case() = %d, want %d", tt.give, got, tt.want)
+		}
+		if !strings.Contains(tt.give.String(), "case") {
+			t.Errorf("String() = %q, want case prefix", tt.give.String())
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	tests := []struct {
+		op    Op
+		atNAR bool
+		atPAR bool
+	}{
+		{OpBufferNARDropHead, true, false},
+		{OpBufferNAR, true, false},
+		{OpBufferBoth, true, true},
+		{OpBufferPAR, false, true},
+		{OpBufferPARAlpha, false, true},
+		{OpForward, false, false},
+		{OpDrop, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.BuffersAtNAR(); got != tt.atNAR {
+			t.Errorf("%v.BuffersAtNAR() = %v, want %v", tt.op, got, tt.atNAR)
+		}
+		if got := tt.op.BuffersAtPAR(); got != tt.atPAR {
+			t.Errorf("%v.BuffersAtPAR() = %v, want %v", tt.op, got, tt.atPAR)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := []Op{OpBufferNARDropHead, OpBufferNAR, OpBufferBoth, OpBufferPAR,
+		OpBufferPARAlpha, OpForward, OpDrop}
+	seen := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("missing String for %d", int(op))
+		}
+		if seen[s] {
+			t.Errorf("duplicate String %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Op(99).String(); got != "op(99)" {
+		t.Errorf("unknown op String = %q", got)
+	}
+}
+
+// Property: the policy never buffers at a router that did not grant space,
+// and never silently drops real-time or high-priority packets while any
+// granted buffer exists.
+func TestPropertyPolicyRespectsGrants(t *testing.T) {
+	f := func(nar, par bool, classRaw uint8) bool {
+		avail := Availability{NAR: nar, PAR: par}
+		class := inet.Class(classRaw % 4)
+		op := Decide(avail, class)
+		if op.BuffersAtNAR() && !avail.NAR {
+			return false
+		}
+		if op.BuffersAtPAR() && !avail.PAR {
+			return false
+		}
+		if op == OpDrop {
+			// Only best effort with no buffer anywhere is dropped outright.
+			return class.Effective() == inet.ClassBestEffort && !nar && !par
+		}
+		if (class.Effective() == inet.ClassRealTime || class.Effective() == inet.ClassHighPriority) &&
+			(nar || par) && op == OpForward {
+			// RT with only PAR space forwards by design (delay beats
+			// buffering at the wrong router); HP must always be buffered
+			// somewhere when space exists.
+			return class.Effective() == inet.ClassRealTime && !nar
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Package buffer implements the thesis' handover buffer management: a
+// per-router reservation pool, a FIFO handover buffer with the class-aware
+// admission and eviction rules of §3.2.2.2, and the Table 3.3 buffering
+// operation matrix.
+package buffer
+
+import "fmt"
+
+// Pool tracks a router's total handover buffering space (in packets) and
+// the reservations handed out to in-flight handoff sessions. The thesis'
+// scalability example: a 50-packet pool serves at most five simultaneous
+// handoffs that each need 10 packets.
+type Pool struct {
+	capacity int
+	reserved int
+}
+
+// NewPool creates a pool with the given capacity in packets. A zero or
+// negative capacity creates a pool that can never grant a reservation
+// (the "no buffer space" router of Case 4).
+func NewPool(capacity int) *Pool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Pool{capacity: capacity}
+}
+
+// Capacity returns the total pool size in packets.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Reserved returns the currently reserved packet count.
+func (p *Pool) Reserved() int { return p.reserved }
+
+// Available returns the unreserved packet count.
+func (p *Pool) Available() int { return p.capacity - p.reserved }
+
+// Reserve atomically claims n packets of buffering space. It is
+// all-or-nothing, matching the binary grant in the thesis' Buffer
+// Acknowledgement. Reserving zero or fewer packets always fails.
+func (p *Pool) Reserve(n int) bool {
+	if n <= 0 || n > p.Available() {
+		return false
+	}
+	p.reserved += n
+	return true
+}
+
+// ReservePartial claims up to n packets, returning how many were granted
+// (possibly zero). It implements the thesis' future-work item of "a more
+// precise buffer allocation": instead of refusing a host outright when the
+// pool cannot cover the full request, the router grants what remains.
+func (p *Pool) ReservePartial(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if avail := p.Available(); n > avail {
+		n = avail
+	}
+	p.reserved += n
+	return n
+}
+
+// Release returns n packets of reserved space to the pool. Releasing more
+// than is reserved panics: it indicates corrupted session accounting.
+func (p *Pool) Release(n int) {
+	if n < 0 || n > p.reserved {
+		panic(fmt.Sprintf("buffer: Release(%d) with %d reserved", n, p.reserved))
+	}
+	p.reserved -= n
+}

@@ -1,0 +1,830 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/fho"
+	"repro/internal/inet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ARConfig configures an access router's handover engine.
+type ARConfig struct {
+	// Scheme selects the buffering behaviour. Both access routers of a
+	// deployment must agree on it.
+	Scheme Scheme
+	// PoolSize is the router's total handover buffer space in packets.
+	PoolSize int
+	// Alpha is the α threshold for best-effort admission at the PAR.
+	Alpha int
+	// GraceDelay is how long a released NAR session lingers (still
+	// forwarding stragglers from the PAR drain) before its reservation is
+	// returned. Zero selects DefaultGraceDelay.
+	GraceDelay sim.Time
+	// DrainInterval optionally paces buffer drains (time between released
+	// packets). Zero drains at line rate.
+	DrainInterval sim.Time
+	// PartialGrants enables the precise-allocation extension (the thesis'
+	// first future-work item): a router grants whatever buffer space
+	// remains instead of refusing requests it cannot cover in full.
+	PartialGrants bool
+	// AuthKey, when non-empty, requires HMAC authentication on handover
+	// messages (the thesis' third future-work item): arriving HIs and
+	// FNAs must carry a valid tag under the same key, and outgoing HIs
+	// are signed. Unauthenticated handovers are refused.
+	AuthKey []byte
+}
+
+// DefaultGraceDelay is the default NAR session linger after release.
+const DefaultGraceDelay = 1 * sim.Second
+
+// DefaultSessionLifetime bounds sessions whose host requested no buffering
+// (no BI, hence no explicit lifetime): without it, a plain fast-handover
+// session whose BF never comes would leak forever.
+const DefaultSessionLifetime = 10 * sim.Second
+
+// Drop locations reported through OnDrop.
+const (
+	DropAtPAR      = "par-buffer"
+	DropAtNAR      = "nar-buffer"
+	DropPolicy     = "par-policy"
+	DropOnLifetime = "lifetime"
+)
+
+type role int
+
+const (
+	rolePAR role = iota + 1
+	roleNAR
+	roleLinkLayer
+)
+
+func (r role) String() string {
+	switch r {
+	case rolePAR:
+		return "par"
+	case roleNAR:
+		return "nar"
+	case roleLinkLayer:
+		return "link-layer"
+	default:
+		return "role(?)"
+	}
+}
+
+// session is one in-flight handoff at this access router, keyed by the
+// mobile host's previous care-of address.
+type session struct {
+	role role
+	pcoa inet.Addr
+	ncoa inet.Addr
+	// targetAP is the access point the host is moving to, echoed in the
+	// PrRtAdv so unsolicited (network-initiated) handovers name their
+	// target.
+	targetAP string
+	// peer is the other access router (zero for link-layer-only handoffs).
+	peer inet.Addr
+	// avail is the negotiated Table 3.2 availability.
+	avail buffer.Availability
+	// granted is the local pool reservation in packets.
+	granted int
+	// buf is the local handover buffer (nil when no space was granted).
+	buf *buffer.Buffer
+
+	redirecting bool // PAR/link-layer: intercepting the host's packets
+	narFull     bool // PAR: NAR reported buffer full (Case 1.b)
+	narGrant    int  // PAR: NAR's granted buffer size, from the BA option
+	sentToNAR   int  // PAR: bufferable packets forwarded to the NAR so far
+	fullSent    bool // NAR: BufferFull already sent
+	released    bool // NAR: FNA received and buffer drained
+
+	startTimer *sim.Timer
+	lifeTimer  *sim.Timer
+}
+
+// AccessRouter is the handover protocol engine wrapped around a forwarding
+// router. One instance plays the PAR role for hosts leaving and the NAR
+// role for hosts arriving, concurrently.
+type AccessRouter struct {
+	engine *sim.Engine
+	router *netsim.Router
+	net    inet.NetID
+	cfg    ARConfig
+	pool   *buffer.Pool
+	dir    *Directory
+
+	apIfaces  map[string]*netsim.Iface
+	apByIface map[*netsim.Iface]string
+	defaultAP *netsim.Iface
+
+	sessions map[inet.Addr]*session
+	auth     *fho.Authenticator
+
+	authRejects uint64
+
+	// OnDrop observes every packet the engine drops, with the drop site
+	// (DropAtPAR, DropAtNAR, DropPolicy, DropOnLifetime).
+	OnDrop func(pkt *inet.Packet, where string)
+	// OnControl observes every control message the engine sends, for
+	// signaling-overhead accounting.
+	OnControl func(kind fho.Kind)
+
+	controlSent map[fho.Kind]uint64
+}
+
+// reserve claims buffer space per the configured grant policy, returning
+// the granted size (zero when refused).
+func (ar *AccessRouter) reserve(n int) int {
+	if ar.cfg.PartialGrants {
+		return ar.pool.ReservePartial(n)
+	}
+	if ar.pool.Reserve(n) {
+		return n
+	}
+	return 0
+}
+
+// NewAccessRouter wraps router with the handover engine. It installs the
+// router's Intercept and LocalDeliver hooks.
+func NewAccessRouter(engine *sim.Engine, router *netsim.Router, net inet.NetID,
+	dir *Directory, cfg ARConfig) *AccessRouter {
+	if !cfg.Scheme.Valid() {
+		panic("core: NewAccessRouter with invalid scheme")
+	}
+	if cfg.GraceDelay == 0 {
+		cfg.GraceDelay = DefaultGraceDelay
+	}
+	ar := &AccessRouter{
+		engine:      engine,
+		router:      router,
+		net:         net,
+		cfg:         cfg,
+		pool:        buffer.NewPool(cfg.PoolSize),
+		dir:         dir,
+		apIfaces:    make(map[string]*netsim.Iface),
+		apByIface:   make(map[*netsim.Iface]string),
+		sessions:    make(map[inet.Addr]*session),
+		controlSent: make(map[fho.Kind]uint64),
+	}
+	ar.auth = fho.NewAuthenticator(cfg.AuthKey)
+	router.Intercept = ar.intercept
+	router.LocalDeliver = ar.localDeliver
+	return ar
+}
+
+// Router returns the underlying forwarding element.
+func (ar *AccessRouter) Router() *netsim.Router { return ar.router }
+
+// Addr returns the router's address.
+func (ar *AccessRouter) Addr() inet.Addr { return ar.router.Addr() }
+
+// Net returns the served network prefix.
+func (ar *AccessRouter) Net() inet.NetID { return ar.net }
+
+// Pool returns the handover buffer pool.
+func (ar *AccessRouter) Pool() *buffer.Pool { return ar.pool }
+
+// ControlSent returns how many control messages of the given kind this
+// router originated.
+func (ar *AccessRouter) ControlSent(kind fho.Kind) uint64 { return ar.controlSent[kind] }
+
+// Sessions returns the number of live handoff sessions.
+func (ar *AccessRouter) Sessions() int { return len(ar.sessions) }
+
+// AuthRejects counts handover messages refused for failing
+// authentication.
+func (ar *AccessRouter) AuthRejects() uint64 { return ar.authRejects }
+
+// SetAuthKey replaces the router's authentication key; nil disables
+// authentication.
+func (ar *AccessRouter) SetAuthKey(key []byte) { ar.auth = fho.NewAuthenticator(key) }
+
+// AddAP registers one of the router's own access points and the interface
+// leading to it, and publishes it in the directory. The first AP becomes
+// the default target for arriving handoffs.
+func (ar *AccessRouter) AddAP(name string, iface *netsim.Iface) {
+	ar.apIfaces[name] = iface
+	ar.apByIface[iface] = name
+	if ar.defaultAP == nil {
+		ar.defaultAP = iface
+	}
+	ar.dir.Register(name, ARInfo{Addr: ar.router.Addr(), Net: ar.net})
+}
+
+// AttachResident installs the host route for a mobile host living on this
+// router's network (initial attachment, or after a completed handoff).
+func (ar *AccessRouter) AttachResident(addr inet.Addr, via *netsim.Iface) {
+	ar.router.AddHostRoute(addr, via)
+}
+
+// DetachResident removes a resident host route.
+func (ar *AccessRouter) DetachResident(addr inet.Addr) {
+	ar.router.RemoveHostRoute(addr)
+}
+
+// --- forwarding-plane hooks ---
+
+// intercept redirects data packets belonging to an active PAR-side session
+// and reverse-tunnels uplink packets still using the previous care-of
+// address at the NAR.
+func (ar *AccessRouter) intercept(in *netsim.Iface, pkt *inet.Packet) bool {
+	if pkt.Proto == inet.ProtoControl {
+		return false // control traffic is never redirected or buffered
+	}
+	if s, ok := ar.sessions[pkt.Dst]; ok && s.redirecting &&
+		(s.role == rolePAR || s.role == roleLinkLayer) {
+		ar.redirect(s, pkt)
+		return true
+	}
+	// Reverse tunnel: uplink from the mobile host still sourced from the
+	// PCoA while attached at the NAR is tunnelled back to the PAR.
+	if s, ok := ar.sessions[pkt.Src]; ok && s.role == roleNAR && !s.peer.IsUnspecified() {
+		if _, fromAP := ar.apByIface[in]; fromAP {
+			ar.router.Forward(pkt.Encapsulate(ar.router.Addr(), s.peer))
+			return true
+		}
+	}
+	return false
+}
+
+// localDeliver dispatches control messages and session tunnels addressed
+// to the router itself.
+func (ar *AccessRouter) localDeliver(in *netsim.Iface, pkt *inet.Packet) bool {
+	switch msg := pkt.Payload.(type) {
+	case *fho.RtSolPr:
+		ar.handleRtSolPr(in, pkt, msg)
+	case *fho.HI:
+		ar.handleHI(in, pkt, msg)
+	case *fho.HAck:
+		ar.handleHAck(msg)
+	case *fho.FBU:
+		ar.handleFBU(msg)
+	case *fho.FBAck:
+		// Informational at the NAR; nothing to do.
+	case *fho.FNA:
+		ar.handleFNA(in, msg)
+	case *fho.BF:
+		ar.handleBF(in, msg)
+	case *fho.BufferFull:
+		ar.handleBufferFull(msg)
+	default:
+		if pkt.Proto == inet.ProtoTunnel {
+			return ar.handleTunnel(pkt)
+		}
+		return false
+	}
+	return true
+}
+
+// handleTunnel terminates a tunnel at this router: redirected session data
+// goes through the NAR buffering logic, anything else is forwarded.
+func (ar *AccessRouter) handleTunnel(pkt *inet.Packet) bool {
+	inner := pkt.Decapsulate()
+	if inner == nil {
+		return true
+	}
+	if s, ok := ar.sessions[inner.Dst]; ok && s.role == roleNAR {
+		ar.narData(s, inner)
+		return true
+	}
+	ar.router.Forward(inner)
+	return true
+}
+
+// --- handover initiation (§3.2.2.1) ---
+
+func (ar *AccessRouter) handleRtSolPr(in *netsim.Iface, pkt *inet.Packet, msg *fho.RtSolPr) {
+	if ar.auth != nil && !ar.auth.VerifyRtSolPr(msg) {
+		ar.authRejects++
+		return // unauthenticated solicitations are not answered
+	}
+	if msg.BI != nil && msg.BI.Cancelled() {
+		if s, ok := ar.sessions[msg.MH]; ok {
+			// The host stays on this router: release anything already
+			// buffered back through the (still installed) resident route.
+			s.redirecting = false
+			if s.buf != nil {
+				ar.drain(s.buf, nil)
+			}
+			ar.closeSession(s, false)
+		}
+		return
+	}
+	if s, ok := ar.sessions[msg.MH]; ok {
+		// Duplicate solicitation (retry after a lost answer): re-drive the
+		// handshake idempotently instead of stalling the host.
+		switch s.role {
+		case roleLinkLayer:
+			ar.sendControl(msg.MH, &fho.PrRtAdv{
+				NAR:           ar.router.Addr(),
+				NARNet:        ar.net,
+				NCoA:          msg.MH,
+				PARGranted:    s.avail.PAR,
+				LinkLayerOnly: true,
+			})
+		case rolePAR:
+			hi := &fho.HI{
+				PCoA:        s.pcoa,
+				NCoA:        s.ncoa,
+				MHLinkLayer: msg.TargetAP,
+				PARGranted:  s.avail.PAR,
+			}
+			if msg.BI != nil && ar.cfg.Scheme.WantsNARBuffer() {
+				hi.BR = &fho.BufferRequest{Size: msg.BI.Size, Lifetime: msg.BI.Lifetime}
+			}
+			if ar.auth != nil {
+				ar.auth.SignHI(hi)
+			}
+			ar.sendControl(s.peer, hi)
+		}
+		return
+	}
+	if _, own := ar.apIfaces[msg.TargetAP]; own && msg.TargetAP != "" {
+		ar.initLinkLayerHandoff(pkt, msg)
+		return
+	}
+	ar.initNetworkHandoff(pkt, msg)
+}
+
+// initLinkLayerHandoff implements §3.2.2.4: the target AP belongs to this
+// router, so only local buffering is set up and PrRtAdv is returned
+// directly.
+func (ar *AccessRouter) initLinkLayerHandoff(pkt *inet.Packet, msg *fho.RtSolPr) {
+	s := &session{role: roleLinkLayer, pcoa: msg.MH, ncoa: msg.MH}
+	if msg.BI != nil {
+		if granted := ar.reserve(int(msg.BI.Size)); granted > 0 {
+			s.granted = granted
+			s.buf = buffer.New(granted, ar.cfg.Alpha)
+			s.avail = buffer.Availability{PAR: true}
+		}
+	}
+	ar.sessions[msg.MH] = s
+	ar.armTimers(s, msg.BI)
+	ar.sendControl(msg.MH, &fho.PrRtAdv{
+		NAR:           ar.router.Addr(),
+		NARNet:        ar.net,
+		NCoA:          msg.MH,
+		PARGranted:    s.avail.PAR,
+		LinkLayerOnly: true,
+	})
+}
+
+// InitiateHandover starts a network-initiated handover (the FMIPv6 path
+// where the PAR "decides to send a PrRtAdv message without receiving the
+// mobile host's RtSolPr message first"). The router reserves bufferPackets
+// locally and at the target's router, then advertises the move to the
+// host, which proceeds exactly as if it had solicited. The thesis' own
+// evaluation excludes this mode ("it is not practical to monitor all
+// mobile hosts"), so nothing in the reproduced figures uses it. It reports
+// whether the handover was initiated (false: unknown AP, or one already in
+// flight for this host).
+func (ar *AccessRouter) InitiateHandover(pcoa inet.Addr, targetAP string, bufferPackets int) bool {
+	if _, ok := ar.sessions[pcoa]; ok {
+		return false
+	}
+	info, ok := ar.dir.Lookup(targetAP)
+	if !ok || info.Addr == ar.router.Addr() {
+		return false
+	}
+	var bi *fho.BufferInit
+	if bufferPackets > 0 {
+		bi = &fho.BufferInit{
+			Size:     uint16(bufferPackets),
+			Start:    ar.engine.Now() + DefaultNetworkInitStart,
+			Lifetime: DefaultSessionLifetime,
+		}
+	}
+	ar.initNetworkHandoff(nil, &fho.RtSolPr{MH: pcoa, TargetAP: targetAP, BI: bi})
+	return true
+}
+
+// DefaultNetworkInitStart is the auto-redirect start offset for
+// network-initiated handovers.
+const DefaultNetworkInitStart = 1 * sim.Second
+
+// initNetworkHandoff resolves the NAR, reserves local space, and sends
+// HI+BR.
+func (ar *AccessRouter) initNetworkHandoff(pkt *inet.Packet, msg *fho.RtSolPr) {
+	info, ok := ar.dir.Lookup(msg.TargetAP)
+	if !ok {
+		// Unknown target: refuse by advertising nothing.
+		ar.sendControl(msg.MH, &fho.PrRtAdv{})
+		return
+	}
+	s := &session{
+		role:     rolePAR,
+		pcoa:     msg.MH,
+		ncoa:     inet.Addr{Net: info.Net, Host: msg.MH.Host},
+		peer:     info.Addr,
+		targetAP: msg.TargetAP,
+	}
+	if msg.BI != nil && ar.cfg.Scheme.WantsPARBuffer() {
+		if granted := ar.reserve(int(msg.BI.Size)); granted > 0 {
+			s.granted = granted
+			s.buf = buffer.New(granted, ar.cfg.Alpha)
+			s.avail.PAR = true
+		}
+	}
+	ar.sessions[msg.MH] = s
+	ar.armTimers(s, msg.BI)
+
+	hi := &fho.HI{
+		PCoA:        msg.MH,
+		NCoA:        s.ncoa,
+		MHLinkLayer: msg.TargetAP,
+		PARGranted:  s.avail.PAR,
+	}
+	if msg.BI != nil && ar.cfg.Scheme.WantsNARBuffer() {
+		hi.BR = &fho.BufferRequest{Size: msg.BI.Size, Lifetime: msg.BI.Lifetime}
+	}
+	if ar.auth != nil {
+		ar.auth.SignHI(hi)
+	}
+	ar.sendControl(s.peer, hi)
+}
+
+// armTimers schedules the BI start-time auto-redirect and the buffering
+// lifetime. Sessions without a BI still get the default lifetime so they
+// cannot leak.
+func (ar *AccessRouter) armTimers(s *session, bi *fho.BufferInit) {
+	if bi == nil {
+		s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
+		s.lifeTimer.Reset(DefaultSessionLifetime)
+		return
+	}
+	if bi.Start > 0 {
+		s.startTimer = sim.NewTimer(ar.engine, func() {
+			if !s.redirecting {
+				s.redirecting = true
+			}
+		})
+		s.startTimer.ResetAt(bi.Start)
+	}
+	if bi.Lifetime > 0 {
+		s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
+		s.lifeTimer.Reset(bi.Lifetime)
+	}
+}
+
+// handleHI is the NAR side of initiation: validate the NCoA, install the
+// PCoA host route, reserve buffer space, acknowledge.
+func (ar *AccessRouter) handleHI(in *netsim.Iface, pkt *inet.Packet, msg *fho.HI) {
+	if ar.auth != nil && !ar.auth.VerifyHI(msg) {
+		ar.authRejects++
+		ar.sendControl(pkt.Src, &fho.HAck{Accepted: false, PCoA: msg.PCoA})
+		return
+	}
+	if s, ok := ar.sessions[msg.PCoA]; ok && s.role == roleNAR {
+		// Duplicate HI (retry after a lost HAck): re-acknowledge with the
+		// existing session's grant.
+		hack := &fho.HAck{Accepted: true, PCoA: msg.PCoA}
+		if msg.BR != nil {
+			hack.BA = &fho.BufferAck{Granted: s.avail.NAR, Size: uint16(s.granted)}
+		}
+		ar.sendControl(s.peer, hack)
+		return
+	}
+	s := &session{
+		role:  roleNAR,
+		pcoa:  msg.PCoA,
+		ncoa:  msg.NCoA,
+		peer:  pkt.Src,
+		avail: buffer.Availability{PAR: msg.PARGranted},
+	}
+	hack := &fho.HAck{Accepted: true, PCoA: msg.PCoA}
+	if msg.BR != nil {
+		granted := ar.reserve(int(msg.BR.Size))
+		if granted > 0 {
+			s.granted = granted
+			s.buf = buffer.New(granted, ar.cfg.Alpha)
+			s.avail.NAR = true
+		}
+		hack.BA = &fho.BufferAck{Granted: granted > 0, Size: uint16(granted)}
+	}
+	life := DefaultSessionLifetime
+	if msg.BR != nil && msg.BR.Lifetime > 0 {
+		life = msg.BR.Lifetime
+	}
+	s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
+	s.lifeTimer.Reset(life)
+	ar.sessions[msg.PCoA] = s
+	// Host route so redirected (and forward-only) packets for the PCoA
+	// reach the radio.
+	if ar.defaultAP != nil {
+		ar.router.AddHostRoute(msg.PCoA, ar.defaultAP)
+	}
+	ar.sendControl(s.peer, hack)
+}
+
+// handleHAck completes the negotiation at the PAR and advertises the
+// outcome to the mobile host.
+func (ar *AccessRouter) handleHAck(msg *fho.HAck) {
+	s, ok := ar.sessions[msg.PCoA]
+	if !ok || s.role != rolePAR {
+		return
+	}
+	if !msg.Accepted {
+		// The NAR refused the handover (e.g. failed authentication):
+		// release the reservation and tell the host nothing is prepared.
+		ar.closeSession(s, false)
+		ar.sendControl(msg.PCoA, &fho.PrRtAdv{})
+		return
+	}
+	s.avail.NAR = msg.Accepted && msg.BA != nil && msg.BA.Granted
+	if s.avail.NAR {
+		s.narGrant = int(msg.BA.Size)
+	}
+	ar.sendControl(s.pcoa, &fho.PrRtAdv{
+		NAR:        s.peer,
+		NARNet:     s.ncoa.Net,
+		NCoA:       s.ncoa,
+		NARGranted: s.avail.NAR,
+		PARGranted: s.avail.PAR,
+		TargetAP:   s.targetAP,
+	})
+}
+
+// --- packet redirection (§3.2.2.2) ---
+
+// handleFBU starts redirection at the PAR (or the link-layer-only router).
+func (ar *AccessRouter) handleFBU(msg *fho.FBU) {
+	if ar.auth != nil && !ar.auth.VerifyFBU(msg) {
+		ar.authRejects++
+		return
+	}
+	s, ok := ar.sessions[msg.PCoA]
+	if !ok || s.role == roleNAR {
+		return
+	}
+	s.redirecting = true
+	if s.startTimer != nil {
+		s.startTimer.Stop()
+	}
+	// FBAck to the host on the old link (it may already be gone) and, for
+	// network handoffs, to the NAR.
+	ar.sendControl(s.pcoa, &fho.FBAck{Accepted: true, PCoA: s.pcoa})
+	if !s.peer.IsUnspecified() {
+		ar.sendControl(s.peer, &fho.FBAck{Accepted: true, PCoA: s.pcoa})
+	}
+}
+
+// redirect applies the scheme's buffering operation to one intercepted
+// data packet at the PAR.
+func (ar *AccessRouter) redirect(s *session, pkt *inet.Packet) {
+	if s.role == roleLinkLayer {
+		// §3.2.2.4: buffer everything locally during the L2 blackout.
+		if s.buf == nil {
+			ar.forwardLocal(s, pkt) // no grant: transmit into the blackout
+			return
+		}
+		if r := s.buf.Push(pkt); r != buffer.DropNone {
+			ar.drop(pkt, DropAtPAR)
+		}
+		return
+	}
+
+	op := ar.cfg.Scheme.Op(s.avail, pkt.EffectiveClass())
+	switch op {
+	case buffer.OpForward:
+		ar.tunnelToPeer(s, pkt)
+	case buffer.OpBufferNAR, buffer.OpBufferNARDropHead:
+		s.sentToNAR++
+		ar.tunnelToPeer(s, pkt)
+	case buffer.OpBufferBoth:
+		// Proactive switch: once a NAR buffer's worth has been forwarded
+		// the rest is buffered locally, without waiting for BufferFull
+		// (which remains the backstop for shared-buffer dynamics).
+		if s.narFull || (s.narGrant > 0 && s.sentToNAR >= s.narGrant) {
+			if r := s.buf.Push(pkt); r != buffer.DropNone {
+				ar.drop(pkt, DropAtPAR)
+			}
+			return
+		}
+		s.sentToNAR++
+		ar.tunnelToPeer(s, pkt)
+	case buffer.OpBufferPAR:
+		if r := s.buf.Push(pkt); r != buffer.DropNone {
+			ar.drop(pkt, DropAtPAR)
+		}
+	case buffer.OpBufferPARAlpha:
+		if r := s.buf.PushIfAboveAlpha(pkt); r != buffer.DropNone {
+			ar.drop(pkt, DropAtPAR)
+		}
+	case buffer.OpDrop:
+		ar.drop(pkt, DropPolicy)
+	default:
+		ar.tunnelToPeer(s, pkt)
+	}
+}
+
+// narData applies the NAR-side buffering operation to a redirected packet.
+func (ar *AccessRouter) narData(s *session, pkt *inet.Packet) {
+	if s.released {
+		ar.router.Forward(pkt) // host already attached; deliver directly
+		return
+	}
+	op := ar.cfg.Scheme.Op(s.avail, pkt.EffectiveClass())
+	if !op.BuffersAtNAR() || s.buf == nil {
+		ar.router.Forward(pkt) // transmitted into the blackout
+		return
+	}
+	switch op {
+	case buffer.OpBufferNARDropHead:
+		if evicted, reason := s.buf.PushDropHead(pkt); reason == buffer.DropHead {
+			ar.drop(evicted, DropAtNAR)
+		}
+	case buffer.OpBufferBoth:
+		if r := s.buf.Push(pkt); r != buffer.DropNone {
+			ar.drop(pkt, DropAtNAR)
+			if !s.fullSent && s.avail.PAR && !s.peer.IsUnspecified() {
+				s.fullSent = true
+				ar.sendControl(s.peer, &fho.BufferFull{PCoA: s.pcoa})
+			}
+		}
+	default: // OpBufferNAR
+		if r := s.buf.Push(pkt); r != buffer.DropNone {
+			ar.drop(pkt, DropAtNAR)
+		}
+	}
+}
+
+// handleBufferFull flips the Case 1.b overflow switch at the PAR.
+func (ar *AccessRouter) handleBufferFull(msg *fho.BufferFull) {
+	if s, ok := ar.sessions[msg.PCoA]; ok && s.role == rolePAR {
+		s.narFull = true
+	}
+}
+
+// --- buffer release (§3.2.2.3) ---
+
+// handleFNA is the NAR receiving the host's attach announcement: install
+// host routes toward the arrival interface, drain, relay BF to the PAR.
+func (ar *AccessRouter) handleFNA(in *netsim.Iface, msg *fho.FNA) {
+	if ar.auth != nil && !ar.auth.VerifyFNA(msg) {
+		ar.authRejects++
+		return // unauthenticated host: no routes, no release
+	}
+	s, ok := ar.sessions[msg.PCoA]
+	if !ok || s.role != roleNAR {
+		// Host attached without a prepared session (no-anticipation
+		// fallback): just install the routes.
+		if in != nil {
+			ar.router.AddHostRoute(msg.NCoA, in)
+			ar.router.AddHostRoute(msg.PCoA, in)
+		}
+		return
+	}
+	if in != nil {
+		ar.router.AddHostRoute(msg.NCoA, in)
+		ar.router.AddHostRoute(msg.PCoA, in)
+	}
+	s.released = true
+	if s.buf != nil {
+		ar.drain(s.buf, nil)
+	}
+	if msg.BufferForward && !s.peer.IsUnspecified() {
+		ar.sendControl(s.peer, &fho.BF{PCoA: msg.PCoA})
+	}
+	// Linger so the PAR's drained packets still find the session, then
+	// return the reservation. The NCoA host route stays: the host now
+	// lives here.
+	ar.engine.Schedule(ar.cfg.GraceDelay, func() {
+		if cur, ok := ar.sessions[msg.PCoA]; ok && cur == s {
+			ar.closeSession(s, false)
+		}
+	})
+}
+
+// handleBF releases the PAR's buffer: drain toward the NAR (or, for a
+// link-layer handoff, toward the arrival interface) and end the session.
+func (ar *AccessRouter) handleBF(in *netsim.Iface, msg *fho.BF) {
+	s, ok := ar.sessions[msg.PCoA]
+	if !ok {
+		return
+	}
+	switch s.role {
+	case roleLinkLayer:
+		if in != nil {
+			ar.router.AddHostRoute(s.pcoa, in)
+		}
+		s.redirecting = false
+		if s.buf != nil {
+			ar.drain(s.buf, nil)
+		}
+		ar.closeSession(s, false)
+	case rolePAR:
+		if s.buf != nil {
+			ar.drain(s.buf, func(pkt *inet.Packet) {
+				ar.tunnelToPeer(s, pkt)
+			})
+		}
+		s.redirecting = false
+		ar.DetachResident(s.pcoa)
+		ar.closeSession(s, false)
+	default:
+		// A BF at the NAR role is the FNA's job; ignore.
+	}
+}
+
+// drain empties a buffer in FIFO order. A nil send forwards through the
+// routing table; otherwise send is invoked per packet. DrainInterval, when
+// configured, paces the release.
+func (ar *AccessRouter) drain(buf *buffer.Buffer, send func(*inet.Packet)) {
+	if send == nil {
+		send = ar.router.Forward
+	}
+	if ar.cfg.DrainInterval <= 0 {
+		for _, pkt := range buf.Drain() {
+			send(pkt)
+		}
+		return
+	}
+	pkts := buf.Drain()
+	for i, pkt := range pkts {
+		pkt := pkt
+		ar.engine.Schedule(sim.Time(i)*ar.cfg.DrainInterval, func() { send(pkt) })
+	}
+}
+
+// --- session lifecycle ---
+
+// expire fires when a session's buffering lifetime lapses before release:
+// buffered packets are dropped and the space reclaimed.
+func (ar *AccessRouter) expire(s *session) {
+	if cur, ok := ar.sessions[s.pcoa]; !ok || cur != s {
+		return
+	}
+	if s.buf != nil {
+		for _, pkt := range s.buf.Drain() {
+			ar.drop(pkt, DropOnLifetime)
+		}
+	}
+	ar.closeSession(s, true)
+}
+
+// closeSession tears down timers, reservations, and (for NAR sessions) the
+// PCoA host route.
+func (ar *AccessRouter) closeSession(s *session, expired bool) {
+	if s.startTimer != nil {
+		s.startTimer.Stop()
+	}
+	if s.lifeTimer != nil {
+		s.lifeTimer.Stop()
+	}
+	if s.granted > 0 {
+		ar.pool.Release(s.granted)
+		s.granted = 0
+	}
+	if s.role == roleNAR {
+		ar.router.RemoveHostRoute(s.pcoa)
+	}
+	delete(ar.sessions, s.pcoa)
+	_ = expired
+}
+
+// --- helpers ---
+
+// forwardLocal pushes a packet toward the mobile host through the normal
+// routing table (host route → AP → air).
+func (ar *AccessRouter) forwardLocal(s *session, pkt *inet.Packet) {
+	ar.router.Forward(pkt)
+}
+
+// tunnelToPeer encapsulates a data packet toward the session's peer router.
+func (ar *AccessRouter) tunnelToPeer(s *session, pkt *inet.Packet) {
+	if s.peer.IsUnspecified() {
+		ar.router.Forward(pkt)
+		return
+	}
+	ar.router.Forward(pkt.Encapsulate(ar.router.Addr(), s.peer))
+}
+
+// sendControl originates a control packet from this router.
+func (ar *AccessRouter) sendControl(dst inet.Addr, msg fho.Message) {
+	ar.controlSent[msg.Kind()]++
+	if ar.OnControl != nil {
+		ar.OnControl(msg.Kind())
+	}
+	ar.router.Forward(&inet.Packet{
+		Src:     ar.router.Addr(),
+		Dst:     dst,
+		Proto:   inet.ProtoControl,
+		Size:    fho.WireSize(msg),
+		Created: ar.engine.Now(),
+		Payload: msg,
+	})
+}
+
+// drop records a dropped packet.
+func (ar *AccessRouter) drop(pkt *inet.Packet, where string) {
+	if ar.OnDrop != nil {
+		ar.OnDrop(pkt, where)
+	}
+}
+
+// String identifies the router in traces.
+func (ar *AccessRouter) String() string {
+	return fmt.Sprintf("ar(%s net=%d %s)", ar.router.Name(), ar.net, ar.cfg.Scheme)
+}

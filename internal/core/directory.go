@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/inet"
+)
+
+// ARInfo describes an access router for the purposes of handover target
+// resolution.
+type ARInfo struct {
+	// Addr is the router's own address, the destination of HI/HAck/BF.
+	Addr inet.Addr
+	// Net is the network prefix the router serves; new care-of addresses
+	// are formed on it.
+	Net inet.NetID
+}
+
+// Directory maps access-point link-layer identifiers to the access router
+// serving them. The PAR consults it to resolve the NAR for an RtSolPr's
+// target AP — standing in for the neighbour discovery infrastructure a real
+// deployment would use.
+type Directory struct {
+	byAP map[string]ARInfo
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{byAP: make(map[string]ARInfo)}
+}
+
+// Register records that the named access point is served by the given
+// router.
+func (d *Directory) Register(apName string, info ARInfo) { d.byAP[apName] = info }
+
+// Lookup resolves the access router serving an access point. The empty
+// name never resolves.
+func (d *Directory) Lookup(apName string) (ARInfo, bool) {
+	if apName == "" {
+		return ARInfo{}, false
+	}
+	info, ok := d.byAP[apName]
+	return info, ok
+}

@@ -1,0 +1,659 @@
+package core
+
+import (
+	"repro/internal/fho"
+	"repro/internal/inet"
+	"repro/internal/mip"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// MHConfig configures a mobile host's handover engine.
+type MHConfig struct {
+	// HostID is the host part of every care-of address the host forms.
+	// It must be unique across mobile hosts.
+	HostID inet.HostID
+	// Scheme must match the access routers' scheme.
+	Scheme Scheme
+	// BufferRequest is the buffer size (packets) asked for in the BI
+	// option. Zero sends no BI (plain fast handover).
+	BufferRequest int
+	// BufferLifetime bounds the granted buffer space. Zero selects
+	// DefaultBufferLifetime.
+	BufferLifetime sim.Time
+	// StartOffset sets BI.Start = now + StartOffset: the PAR begins
+	// buffering on its own after this long even without an FBU. Zero
+	// selects DefaultStartOffset.
+	StartOffset sim.Time
+	// FBUGuard is the pause between sending the FBU and detaching, giving
+	// the uplink frame time to leave the radio. Zero selects
+	// DefaultFBUGuard.
+	FBUGuard sim.Time
+	// SolicitTimeout abandons a handoff whose PrRtAdv never arrives. Zero
+	// selects DefaultSolicitTimeout.
+	SolicitTimeout sim.Time
+	// RegistrationLifetime is the binding-update lifetime sent to the MAP.
+	// Zero selects DefaultRegistrationLifetime.
+	RegistrationLifetime sim.Time
+	// PCoAHoldTime keeps the previous care-of address active after a
+	// handoff so drained packets are still accepted. Zero selects
+	// DefaultPCoAHoldTime.
+	PCoAHoldTime sim.Time
+	// TriggerHoldoff suppresses new handover triggers for this long after
+	// an attachment, so beacons from the old access point still audible in
+	// the overlap area cannot bounce the host straight back. Zero selects
+	// DefaultTriggerHoldoff.
+	TriggerHoldoff sim.Time
+	// AuthKey, when non-empty, signs the host's FNA messages so access
+	// routers requiring authentication accept its handovers.
+	AuthKey []byte
+	// HysteresisDB is the signal-strength margin a new access point must
+	// exceed the current one by before a handover triggers. Zero means
+	// "any stronger signal" (equivalent to strictly closer under equal
+	// transmit powers).
+	HysteresisDB float64
+	// Mobility selects fast handover (default) or the plain Mobile IP
+	// baseline.
+	Mobility Mobility
+}
+
+// Defaults for MHConfig fields left zero.
+const (
+	DefaultBufferLifetime       = 5 * sim.Second
+	DefaultStartOffset          = 1 * sim.Second
+	DefaultFBUGuard             = 2 * sim.Millisecond
+	DefaultSolicitTimeout       = 800 * sim.Millisecond
+	DefaultRegistrationLifetime = 60 * sim.Second
+	DefaultPCoAHoldTime         = 5 * sim.Second
+	DefaultTriggerHoldoff       = 3 * sim.Second
+)
+
+func (c *MHConfig) applyDefaults() {
+	if c.BufferLifetime == 0 {
+		c.BufferLifetime = DefaultBufferLifetime
+	}
+	if c.StartOffset == 0 {
+		c.StartOffset = DefaultStartOffset
+	}
+	if c.FBUGuard == 0 {
+		c.FBUGuard = DefaultFBUGuard
+	}
+	if c.SolicitTimeout == 0 {
+		c.SolicitTimeout = DefaultSolicitTimeout
+	}
+	if c.RegistrationLifetime == 0 {
+		c.RegistrationLifetime = DefaultRegistrationLifetime
+	}
+	if c.PCoAHoldTime == 0 {
+		c.PCoAHoldTime = DefaultPCoAHoldTime
+	}
+	if c.TriggerHoldoff == 0 {
+		c.TriggerHoldoff = DefaultTriggerHoldoff
+	}
+}
+
+// Mobility selects the host's mobility management mode.
+type Mobility int
+
+const (
+	// MobilityFastHandover (the default) runs the fast-handover protocol
+	// with anticipation and buffering.
+	MobilityFastHandover Mobility = iota
+	// MobilityPlainMIP is the Chapter 2 baseline: movement detection by
+	// router advertisements, an immediate link switch, and a Mobile IP
+	// registration with the anchor afterwards — no anticipation, no
+	// buffering. The handoff outage is detection + blackout +
+	// registration round trip, which is what the thesis' enhancements
+	// exist to remove.
+	MobilityPlainMIP
+)
+
+// mhState is the handover state machine.
+type mhState int
+
+const (
+	mhIdle       mhState = iota // attached, no handoff in progress
+	mhSoliciting                // RtSolPr sent, awaiting PrRtAdv
+	mhReady                     // PrRtAdv received, FBU sent, about to switch
+	mhSwitching                 // in the L2 blackout
+	// mhShadowRequest/mhShadowBuffering implement §3.3's "buffer packets
+	// at its access router when poor connection quality on a wireless
+	// link is detected": the buffering machinery runs without any link
+	// switch.
+	mhShadowRequest
+	mhShadowBuffering
+)
+
+// HandoffRecord captures one completed handoff for analysis.
+type HandoffRecord struct {
+	// Triggered is when the host decided to hand off (L2-ST).
+	Triggered sim.Time
+	// Advertised is when the PrRtAdv arrived (zero on the unanticipated
+	// path); Triggered→Advertised is the anticipation signalling time
+	// (RtSolPr + HI/HAck round trip).
+	Advertised sim.Time
+	// Detached and Attached bound the L2 blackout.
+	Detached sim.Time
+	Attached sim.Time
+	// Completed is when the release signalling (FNA/BF, binding update)
+	// was sent after attachment.
+	Completed sim.Time
+	// LinkLayerOnly marks a same-router AP switch.
+	LinkLayerOnly bool
+	// Anticipated is false for the fallback path where the host lost its
+	// old link before the fast-handover signalling completed.
+	Anticipated bool
+	// NARGranted/PARGranted echo the negotiation outcome.
+	NARGranted bool
+	PARGranted bool
+}
+
+// MobileHost is the mobile side of the handover protocol. It owns a
+// wireless station and reacts to router advertisements, link events and
+// control messages.
+type MobileHost struct {
+	engine  *sim.Engine
+	station *wireless.Station
+	cfg     MHConfig
+
+	rcoa    inet.Addr
+	mapAddr inet.Addr
+	lcoa    inet.Addr
+	arAddr  inet.Addr
+	arNet   inet.NetID
+
+	auth *fho.Authenticator
+
+	state         mhState
+	target        wireless.Advertisement
+	ncoa          inet.Addr
+	narAddr       inet.Addr
+	llOnly        bool
+	unanticipated bool
+	prevAR        inet.Addr
+	current       HandoffRecord
+	buSeq         uint16
+	solicitT      *sim.Timer
+	lastAttach    sim.Time
+
+	buRetry   *sim.Timer
+	buRefresh *sim.Timer
+	buPending bool
+	buTries   int
+
+	heardAPs map[string]*wireless.AccessPoint
+
+	handoffs []HandoffRecord
+
+	// OnDeliver receives every application packet (innermost, tunnels
+	// stripped) addressed to the host.
+	OnDeliver func(pkt *inet.Packet)
+	// OnHandoffDone fires after each completed handoff (attach + release
+	// signalling sent).
+	OnHandoffDone func(rec HandoffRecord)
+	// OnControl observes control messages the host sends.
+	OnControl func(kind fho.Kind)
+}
+
+// NewMobileHost binds a handover engine to a wireless station. Call Attach
+// to place the host on its initial access point before running.
+func NewMobileHost(engine *sim.Engine, station *wireless.Station,
+	rcoa, mapAddr inet.Addr, cfg MHConfig) *MobileHost {
+	cfg.applyDefaults()
+	mh := &MobileHost{
+		engine:   engine,
+		station:  station,
+		cfg:      cfg,
+		rcoa:     rcoa,
+		mapAddr:  mapAddr,
+		heardAPs: make(map[string]*wireless.AccessPoint),
+	}
+	station.OnRA = mh.handleRA
+	station.OnPacket = mh.handlePacket
+	station.OnLinkUp = mh.handleLinkUp
+	mh.auth = fho.NewAuthenticator(cfg.AuthKey)
+	mh.solicitT = sim.NewTimer(engine, mh.solicitTimeout)
+	mh.buRetry = sim.NewTimer(engine, mh.retryBindingUpdate)
+	mh.buRefresh = sim.NewTimer(engine, mh.refreshBinding)
+	return mh
+}
+
+// Station returns the wireless NIC.
+func (mh *MobileHost) Station() *wireless.Station { return mh.station }
+
+// LCoA returns the current on-link care-of address.
+func (mh *MobileHost) LCoA() inet.Addr { return mh.lcoa }
+
+// RCoA returns the regional care-of address.
+func (mh *MobileHost) RCoA() inet.Addr { return mh.rcoa }
+
+// Handoffs returns the completed handoff records.
+func (mh *MobileHost) Handoffs() []HandoffRecord { return mh.handoffs }
+
+// SetAuthKey replaces the host's authentication key; nil disables
+// signing.
+func (mh *MobileHost) SetAuthKey(key []byte) { mh.auth = fho.NewAuthenticator(key) }
+
+// Attach places the host on its initial access point, forming an LCoA on
+// the router's network. The caller is responsible for the corresponding
+// AttachResident on the access router and the initial MAP binding.
+func (mh *MobileHost) Attach(ap *wireless.AccessPoint, arAddr inet.Addr, arNet inet.NetID) {
+	mh.lcoa = inet.Addr{Net: arNet, Host: mh.cfg.HostID}
+	mh.arAddr = arAddr
+	mh.arNet = arNet
+	mh.station.AddAddr(mh.lcoa)
+	mh.station.Associate(ap)
+	mh.state = mhIdle
+}
+
+// --- movement detection ---
+
+// handleRA implements the L2 source trigger: hearing a beacon from a
+// different access point while in the overlap area starts an anticipated
+// handover toward it. A holdoff after each attachment keeps the old AP's
+// still-audible beacons from bouncing the host straight back. If the
+// current AP no longer covers the host (the anticipation window was
+// missed), the host falls back to an unanticipated link switch.
+func (mh *MobileHost) handleRA(adv wireless.Advertisement) {
+	if adv.AP != nil {
+		mh.heardAPs[adv.AP.Name()] = adv.AP
+	}
+	if mh.state != mhIdle || adv.AP == nil {
+		return
+	}
+	cur := mh.station.AP()
+	if cur == nil || adv.AP == cur {
+		return
+	}
+	now := mh.engine.Now()
+	if now-mh.lastAttach < mh.cfg.TriggerHoldoff {
+		return
+	}
+	pos := mh.station.Pos(now)
+	if !cur.Covers(pos) {
+		mh.startUnanticipatedHandoff(adv)
+		return
+	}
+	// The L2 source trigger is a signal-strength comparison: hand off only
+	// toward an AP whose received power beats the current one by the
+	// hysteresis margin, so a host between two cells does not oscillate.
+	if adv.AP.RSSI(pos) <= cur.RSSI(pos)+mh.cfg.HysteresisDB {
+		return
+	}
+	if mh.cfg.Mobility == MobilityPlainMIP {
+		// Plain Mobile IP never anticipates: switch, then register.
+		mh.startUnanticipatedHandoff(adv)
+		return
+	}
+	mh.startHandoff(adv)
+}
+
+// startUnanticipatedHandoff switches links immediately; the fast-handover
+// signalling happens from the new link (the protocol's no-anticipation
+// case). Packets in flight during the blackout are lost.
+func (mh *MobileHost) startUnanticipatedHandoff(adv wireless.Advertisement) {
+	mh.state = mhSwitching
+	mh.target = adv
+	mh.unanticipated = true
+	mh.llOnly = adv.Router == mh.arAddr
+	mh.narAddr = adv.Router
+	mh.ncoa = inet.Addr{Net: adv.Net, Host: mh.cfg.HostID}
+	mh.prevAR = mh.arAddr
+	now := mh.engine.Now()
+	mh.current = HandoffRecord{Triggered: now, Detached: now, LinkLayerOnly: mh.llOnly}
+	mh.station.SwitchTo(adv.AP)
+}
+
+// startHandoff sends RtSolPr+BI toward the current access router.
+func (mh *MobileHost) startHandoff(adv wireless.Advertisement) {
+	mh.state = mhSoliciting
+	mh.target = adv
+	mh.unanticipated = false
+	mh.current = HandoffRecord{Triggered: mh.engine.Now(), Anticipated: true}
+	msg := &fho.RtSolPr{MH: mh.lcoa, TargetAP: adv.AP.Name()}
+	if mh.cfg.BufferRequest > 0 && mh.cfg.Scheme != SchemeFHNoBuffer {
+		msg.BI = &fho.BufferInit{
+			Size:     uint16(mh.cfg.BufferRequest),
+			Start:    mh.engine.Now() + mh.cfg.StartOffset,
+			Lifetime: mh.cfg.BufferLifetime,
+		}
+	}
+	if mh.auth != nil {
+		mh.auth.SignRtSolPr(msg)
+	}
+	mh.sendControl(mh.arAddr, msg)
+	mh.solicitT.Reset(mh.cfg.SolicitTimeout)
+}
+
+// solicitTimeout abandons a handoff (or shadow-buffering request) whose
+// PrRtAdv never arrived; the next beacon (or caller retry) starts over.
+func (mh *MobileHost) solicitTimeout() {
+	if mh.state == mhSoliciting || mh.state == mhShadowRequest {
+		mh.state = mhIdle
+	}
+}
+
+// CancelHandoff aborts an in-progress handover before the link switch by
+// sending an RtSolPr whose BI carries zero start time and lifetime
+// (§3.2.2.1: "the mobile host can cancel the handoff process"). The
+// current access router releases its session immediately; a NAR-side
+// reservation, if already made, lapses with its lifetime. It reports
+// whether there was a handover to cancel.
+func (mh *MobileHost) CancelHandoff() bool {
+	if mh.state != mhSoliciting && mh.state != mhReady {
+		return false
+	}
+	mh.solicitT.Stop()
+	mh.state = mhIdle
+	cancel := &fho.RtSolPr{
+		MH:       mh.lcoa,
+		TargetAP: mh.target.AP.Name(),
+		BI:       &fho.BufferInit{},
+	}
+	if mh.auth != nil {
+		mh.auth.SignRtSolPr(cancel)
+	}
+	mh.sendControl(mh.arAddr, cancel)
+	return true
+}
+
+// --- control plane ---
+
+// handlePacket receives every frame the station accepts.
+func (mh *MobileHost) handlePacket(pkt *inet.Packet) {
+	inner := pkt.Innermost()
+	if inner.Proto == inet.ProtoControl {
+		switch msg := inner.Payload.(type) {
+		case *fho.PrRtAdv:
+			mh.handlePrRtAdv(msg)
+		case *fho.FBAck:
+			// Confirmation only; redirection already runs at the PAR.
+		case *mip.BindingAck:
+			if msg.Seq == mh.buSeq {
+				mh.buPending = false
+				mh.buRetry.Stop()
+			}
+		}
+		return
+	}
+	if mh.OnDeliver != nil {
+		mh.OnDeliver(inner)
+	}
+}
+
+// RequestLinkBuffering asks the current access router to start buffering
+// this host's packets without any handoff — §3.3: a host "can also buffer
+// packets at its access router when poor connection quality on a wireless
+// link is detected". Packets queue at the router until
+// ReleaseLinkBuffering. It reports whether the request was sent (the host
+// must be idle and attached, with a buffer request configured).
+func (mh *MobileHost) RequestLinkBuffering() bool {
+	if mh.state != mhIdle || mh.station.AP() == nil || mh.cfg.BufferRequest <= 0 {
+		return false
+	}
+	mh.state = mhShadowRequest
+	msg := &fho.RtSolPr{
+		MH:       mh.lcoa,
+		TargetAP: mh.station.AP().Name(), // our own AP: a link-layer session
+		BI: &fho.BufferInit{
+			Size:     uint16(mh.cfg.BufferRequest),
+			Start:    mh.engine.Now() + mh.cfg.StartOffset,
+			Lifetime: mh.cfg.BufferLifetime,
+		},
+	}
+	if mh.auth != nil {
+		mh.auth.SignRtSolPr(msg)
+	}
+	mh.sendControl(mh.arAddr, msg)
+	mh.solicitT.Reset(mh.cfg.SolicitTimeout)
+	return true
+}
+
+// ReleaseLinkBuffering asks the router to forward everything it buffered
+// since RequestLinkBuffering. It reports whether there was a shadow
+// session to release.
+func (mh *MobileHost) ReleaseLinkBuffering() bool {
+	if mh.state != mhShadowBuffering {
+		return false
+	}
+	mh.state = mhIdle
+	mh.sendControl(mh.arAddr, &fho.BF{PCoA: mh.lcoa})
+	return true
+}
+
+// handlePrRtAdv completes anticipation: record the negotiation, send the
+// FBU, and schedule the L2 switch.
+func (mh *MobileHost) handlePrRtAdv(msg *fho.PrRtAdv) {
+	if mh.state == mhShadowRequest {
+		mh.solicitT.Stop()
+		if !msg.LinkLayerOnly || !msg.PARGranted {
+			mh.state = mhIdle // refused: no space, or misrouted request
+			return
+		}
+		mh.state = mhShadowBuffering
+		fbu := &fho.FBU{PCoA: mh.lcoa, NCoA: mh.lcoa}
+		if mh.auth != nil {
+			mh.auth.SignFBU(fbu)
+		}
+		mh.sendControl(mh.arAddr, fbu)
+		return
+	}
+	if mh.state == mhIdle && msg.TargetAP != "" && !msg.NCoA.IsUnspecified() {
+		// Unsolicited advertisement: a network-initiated handover. Accept
+		// it if the named access point has been heard recently.
+		ap, ok := mh.heardAPs[msg.TargetAP]
+		if !ok {
+			return
+		}
+		mh.state = mhSoliciting // fall through to the common path below
+		mh.target = wireless.Advertisement{AP: ap}
+		mh.unanticipated = false
+		mh.current = HandoffRecord{Triggered: mh.engine.Now(), Anticipated: true}
+	}
+	if mh.state != mhSoliciting {
+		return
+	}
+	if msg.NCoA.IsUnspecified() && !msg.LinkLayerOnly {
+		// Refused (unknown target): abandon.
+		mh.state = mhIdle
+		mh.solicitT.Stop()
+		return
+	}
+	mh.solicitT.Stop()
+	mh.state = mhReady
+	mh.current.Advertised = mh.engine.Now()
+	mh.llOnly = msg.LinkLayerOnly
+	mh.ncoa = msg.NCoA
+	mh.narAddr = msg.NAR
+	mh.current.NARGranted = msg.NARGranted
+	mh.current.PARGranted = msg.PARGranted
+	mh.current.LinkLayerOnly = msg.LinkLayerOnly
+	mh.prevAR = mh.arAddr
+
+	fbu := &fho.FBU{PCoA: mh.lcoa, NCoA: mh.ncoa}
+	if mh.auth != nil {
+		mh.auth.SignFBU(fbu)
+	}
+	mh.sendControl(mh.arAddr, fbu)
+	target := mh.target.AP
+	mh.engine.Schedule(mh.cfg.FBUGuard, func() {
+		if mh.state != mhReady {
+			return
+		}
+		mh.state = mhSwitching
+		mh.current.Detached = mh.engine.Now()
+		mh.station.SwitchTo(target)
+	})
+}
+
+// handleLinkUp completes the handoff on the new link: FNA+BF to the NAR
+// (or BF to the same router), binding update to the MAP. On the
+// unanticipated path the FBU is also sent now, from the new link.
+func (mh *MobileHost) handleLinkUp(ap *wireless.AccessPoint) {
+	mh.lastAttach = mh.engine.Now()
+	if mh.state != mhSwitching {
+		return // initial attachment
+	}
+	mh.current.Attached = mh.engine.Now()
+	if mh.llOnly && mh.unanticipated {
+		// Same router, link lost before signalling: nothing was buffered;
+		// just carry on.
+		mh.finishHandoff()
+		return
+	}
+	if mh.llOnly {
+		mh.sendControl(mh.arAddr, &fho.BF{PCoA: mh.lcoa})
+		mh.finishHandoff()
+		return
+	}
+
+	pcoa := mh.lcoa
+	mh.station.AddAddr(mh.ncoa)
+	mh.lcoa = mh.ncoa
+	mh.arAddr = mh.narAddr
+	mh.arNet = mh.ncoa.Net
+	if mh.cfg.Mobility == MobilityPlainMIP {
+		// Plain Mobile IP: announce the new address on the link (standard
+		// neighbour discovery; the FNA without a session doubles as it),
+		// then register with the anchor. Nothing was buffered anywhere.
+		mh.sendControl(mh.arAddr, &fho.FNA{NCoA: mh.ncoa, PCoA: mh.ncoa})
+		mh.registerWithMAP()
+		mh.engine.Schedule(mh.cfg.PCoAHoldTime, func() { mh.station.RemoveAddr(pcoa) })
+		mh.finishHandoff()
+		return
+	}
+	if mh.unanticipated {
+		// No-anticipation: FBU reaches the PAR through the new link.
+		fbu := &fho.FBU{PCoA: pcoa, NCoA: mh.ncoa}
+		if mh.auth != nil {
+			mh.auth.SignFBU(fbu)
+		}
+		mh.sendControl(mh.prevAR, fbu)
+	}
+	wantRelease := mh.cfg.BufferRequest > 0 && mh.cfg.Scheme != SchemeFHNoBuffer
+	fna := &fho.FNA{NCoA: mh.ncoa, PCoA: pcoa, BufferForward: wantRelease}
+	if mh.auth != nil {
+		mh.auth.SignFNA(fna)
+	}
+	mh.sendControl(mh.arAddr, fna)
+	mh.registerWithMAP()
+	// Keep accepting the PCoA while buffered packets drain.
+	mh.engine.Schedule(mh.cfg.PCoAHoldTime, func() { mh.station.RemoveAddr(pcoa) })
+	mh.finishHandoff()
+}
+
+func (mh *MobileHost) finishHandoff() {
+	mh.state = mhIdle
+	mh.unanticipated = false
+	mh.current.Completed = mh.engine.Now()
+	mh.handoffs = append(mh.handoffs, mh.current)
+	if mh.OnHandoffDone != nil {
+		mh.OnHandoffDone(mh.current)
+	}
+}
+
+// DefaultBURetryInterval spaces binding-update retransmissions.
+const DefaultBURetryInterval = 1 * sim.Second
+
+// maxBUTries bounds binding-update retransmissions per handoff.
+const maxBUTries = 5
+
+// registerWithMAP sends the Mobile IP binding update for the new LCoA and
+// arms the retransmission timer; a lost update would otherwise blackhole
+// the host until the next handoff. It also (re)arms the periodic refresh
+// that keeps the binding alive short of its lifetime.
+func (mh *MobileHost) registerWithMAP() {
+	if mh.mapAddr.IsUnspecified() {
+		return
+	}
+	mh.buSeq++
+	mh.buPending = true
+	mh.buTries = 1
+	mh.buRetry.Reset(DefaultBURetryInterval)
+	mh.buRefresh.Reset(mh.cfg.RegistrationLifetime * 3 / 4)
+	mh.sendBindingUpdate()
+}
+
+// StartRegistration registers the host's current address with its anchor
+// and keeps the binding refreshed. Scenario builders call it once after
+// the initial attachment (the anchor's initial binding is installed
+// directly, but refreshes must come from the host).
+func (mh *MobileHost) StartRegistration() { mh.registerWithMAP() }
+
+// refreshBinding re-registers before the binding lifetime lapses, as
+// Mobile IP requires of stationary hosts too.
+func (mh *MobileHost) refreshBinding() {
+	if mh.state == mhSwitching {
+		// Mid-blackout: the next attachment re-registers anyway.
+		return
+	}
+	mh.registerWithMAP()
+}
+
+// retryBindingUpdate retransmits an unacknowledged binding update.
+func (mh *MobileHost) retryBindingUpdate() {
+	if !mh.buPending || mh.buTries >= maxBUTries {
+		return
+	}
+	mh.buTries++
+	mh.buRetry.Reset(DefaultBURetryInterval)
+	mh.sendBindingUpdate()
+}
+
+func (mh *MobileHost) sendBindingUpdate() {
+	mh.station.Send(&inet.Packet{
+		Src:     mh.lcoa,
+		Dst:     mh.mapAddr,
+		Proto:   inet.ProtoControl,
+		Size:    mip.BindingUpdateSize,
+		Created: mh.engine.Now(),
+		Payload: &mip.BindingUpdate{
+			Key:      mh.rcoa,
+			CoA:      mh.lcoa,
+			Lifetime: mh.cfg.RegistrationLifetime,
+			Seq:      mh.buSeq,
+		},
+	})
+}
+
+// sendControl transmits a fast-handover control message uplink.
+func (mh *MobileHost) sendControl(dst inet.Addr, msg fho.Message) {
+	if mh.OnControl != nil {
+		mh.OnControl(msg.Kind())
+	}
+	mh.station.Send(&inet.Packet{
+		Src:     mh.lcoa,
+		Dst:     dst,
+		Proto:   inet.ProtoControl,
+		Size:    fho.WireSize(msg),
+		Created: mh.engine.Now(),
+		Payload: msg,
+	})
+}
+
+// SendData transmits an application packet uplink (used by traffic sources
+// running on the host).
+func (mh *MobileHost) SendData(pkt *inet.Packet) { mh.station.Send(pkt) }
+
+// Shutdown deregisters the host from its anchor (a zero-lifetime binding
+// update), stops all timers, and detaches from the radio. The host can be
+// re-attached later with Attach.
+func (mh *MobileHost) Shutdown() {
+	mh.solicitT.Stop()
+	mh.buRetry.Stop()
+	mh.buRefresh.Stop()
+	mh.buPending = false
+	if !mh.mapAddr.IsUnspecified() && mh.station.CanReceive() {
+		mh.buSeq++
+		mh.station.Send(&inet.Packet{
+			Src:     mh.lcoa,
+			Dst:     mh.mapAddr,
+			Proto:   inet.ProtoControl,
+			Size:    mip.BindingUpdateSize,
+			Created: mh.engine.Now(),
+			Payload: &mip.BindingUpdate{Key: mh.rcoa, Seq: mh.buSeq}, // zero lifetime
+		})
+	}
+	mh.state = mhIdle
+	mh.station.Detach()
+}

@@ -1,0 +1,101 @@
+// Package core implements the thesis' enhanced buffer management scheme for
+// the Fast Handover protocol: the access-router protocol engine (PAR and
+// NAR roles, negotiation, packet redirection per Table 3.3, buffer
+// release), the mobile-host engine (trigger handling, RtSolPr+BI → PrRtAdv
+// → FBU → L2 switch → FNA+BF → binding update), and the §3.2.2.4 buffering
+// support for pure link-layer handoffs.
+//
+// The comparison schemes evaluated in Chapter 4 (plain fast handover
+// without buffering, the original NAR-only buffering, PAR-only buffering,
+// and dual buffering without classification) are variants selected by
+// Scheme.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/inet"
+)
+
+// Scheme selects the buffering behaviour during handoffs.
+type Scheme int
+
+const (
+	// SchemeFHNoBuffer is fast handover without any buffering (the "FH"
+	// line of Figure 4.2): redirected packets are tunnelled to the NAR and
+	// transmitted into the blackout.
+	SchemeFHNoBuffer Scheme = iota + 1
+	// SchemeFHOriginal is the original fast handover buffering: everything
+	// is buffered at the NAR, tail-dropping when full (the "NAR" line).
+	SchemeFHOriginal
+	// SchemePAROnly buffers everything at the PAR (the "PAR" line).
+	SchemePAROnly
+	// SchemeDual is the proposed scheme with classification disabled:
+	// every packet takes the high-priority path, filling the NAR buffer
+	// first and overflowing to the PAR (the "DUAL" line; Figures 4.4/4.8).
+	SchemeDual
+	// SchemeEnhanced is the full proposed scheme with per-class buffering
+	// operations (Table 3.3).
+	SchemeEnhanced
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeFHNoBuffer:
+		return "fh-no-buffer"
+	case SchemeFHOriginal:
+		return "fh-original"
+	case SchemePAROnly:
+		return "par-only"
+	case SchemeDual:
+		return "dual"
+	case SchemeEnhanced:
+		return "enhanced"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is a defined scheme.
+func (s Scheme) Valid() bool { return s >= SchemeFHNoBuffer && s <= SchemeEnhanced }
+
+// WantsNARBuffer reports whether the scheme asks the NAR for buffer space
+// during negotiation.
+func (s Scheme) WantsNARBuffer() bool {
+	return s == SchemeFHOriginal || s == SchemeDual || s == SchemeEnhanced
+}
+
+// WantsPARBuffer reports whether the scheme reserves buffer space at the
+// PAR during negotiation.
+func (s Scheme) WantsPARBuffer() bool {
+	return s == SchemePAROnly || s == SchemeDual || s == SchemeEnhanced
+}
+
+// Op returns the buffering operation for a packet of the given class under
+// the negotiated availability.
+func (s Scheme) Op(avail buffer.Availability, class inet.Class) buffer.Op {
+	switch s {
+	case SchemeFHNoBuffer:
+		return buffer.OpForward
+	case SchemeFHOriginal:
+		if avail.NAR {
+			return buffer.OpBufferNAR
+		}
+		return buffer.OpForward
+	case SchemePAROnly:
+		if avail.PAR {
+			return buffer.OpBufferPAR
+		}
+		return buffer.OpForward
+	case SchemeDual:
+		// Classification disabled: all packets take the high-priority
+		// path (NAR first, overflow to PAR).
+		return buffer.Decide(avail, inet.ClassHighPriority)
+	case SchemeEnhanced:
+		return buffer.Decide(avail, class)
+	default:
+		return buffer.OpForward
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buffer"
+	"repro/internal/inet"
+)
+
+func TestSchemeValidity(t *testing.T) {
+	for _, s := range []Scheme{SchemeFHNoBuffer, SchemeFHOriginal, SchemePAROnly, SchemeDual, SchemeEnhanced} {
+		if !s.Valid() {
+			t.Errorf("%v.Valid() = false", s)
+		}
+	}
+	if Scheme(0).Valid() || Scheme(99).Valid() {
+		t.Error("invalid scheme accepted")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range []Scheme{SchemeFHNoBuffer, SchemeFHOriginal, SchemePAROnly, SchemeDual, SchemeEnhanced} {
+		str := s.String()
+		if strings.HasPrefix(str, "scheme(") || seen[str] {
+			t.Errorf("bad or duplicate scheme string %q", str)
+		}
+		seen[str] = true
+	}
+	if got := Scheme(42).String(); got != "scheme(42)" {
+		t.Errorf("unknown scheme string = %q", got)
+	}
+}
+
+func TestSchemeNegotiationWants(t *testing.T) {
+	tests := []struct {
+		scheme   Scheme
+		wantsNAR bool
+		wantsPAR bool
+	}{
+		{SchemeFHNoBuffer, false, false},
+		{SchemeFHOriginal, true, false},
+		{SchemePAROnly, false, true},
+		{SchemeDual, true, true},
+		{SchemeEnhanced, true, true},
+	}
+	for _, tt := range tests {
+		if got := tt.scheme.WantsNARBuffer(); got != tt.wantsNAR {
+			t.Errorf("%v.WantsNARBuffer() = %v, want %v", tt.scheme, got, tt.wantsNAR)
+		}
+		if got := tt.scheme.WantsPARBuffer(); got != tt.wantsPAR {
+			t.Errorf("%v.WantsPARBuffer() = %v, want %v", tt.scheme, got, tt.wantsPAR)
+		}
+	}
+}
+
+func TestSchemeOpTable(t *testing.T) {
+	both := buffer.Availability{NAR: true, PAR: true}
+	tests := []struct {
+		name   string
+		scheme Scheme
+		avail  buffer.Availability
+		class  inet.Class
+		want   buffer.Op
+	}{
+		{"nobuffer always forwards", SchemeFHNoBuffer, both, inet.ClassHighPriority, buffer.OpForward},
+		{"original buffers at NAR", SchemeFHOriginal, buffer.Availability{NAR: true}, inet.ClassRealTime, buffer.OpBufferNAR},
+		{"original without grant forwards", SchemeFHOriginal, buffer.Availability{}, inet.ClassRealTime, buffer.OpForward},
+		{"par-only buffers at PAR", SchemePAROnly, buffer.Availability{PAR: true}, inet.ClassBestEffort, buffer.OpBufferPAR},
+		{"par-only without grant forwards", SchemePAROnly, buffer.Availability{}, inet.ClassBestEffort, buffer.OpForward},
+		{"dual takes the HP path for RT", SchemeDual, both, inet.ClassRealTime, buffer.OpBufferBoth},
+		{"dual takes the HP path for BE", SchemeDual, both, inet.ClassBestEffort, buffer.OpBufferBoth},
+		{"enhanced follows Table 3.3 for RT", SchemeEnhanced, both, inet.ClassRealTime, buffer.OpBufferNARDropHead},
+		{"enhanced follows Table 3.3 for HP", SchemeEnhanced, both, inet.ClassHighPriority, buffer.OpBufferBoth},
+		{"enhanced follows Table 3.3 for BE", SchemeEnhanced, both, inet.ClassBestEffort, buffer.OpBufferPARAlpha},
+		{"invalid scheme forwards", Scheme(99), both, inet.ClassHighPriority, buffer.OpForward},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.scheme.Op(tt.avail, tt.class); got != tt.want {
+				t.Fatalf("Op = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: no scheme ever buffers at a router that did not grant space.
+func TestPropertySchemeRespectsGrants(t *testing.T) {
+	f := func(schemeRaw uint8, nar, par bool, classRaw uint8) bool {
+		scheme := Scheme(schemeRaw%5) + SchemeFHNoBuffer
+		avail := buffer.Availability{NAR: nar, PAR: par}
+		op := scheme.Op(avail, inet.Class(classRaw%4))
+		if op.BuffersAtNAR() && !nar {
+			return false
+		}
+		if op.BuffersAtPAR() && !par {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	d := NewDirectory()
+	info := ARInfo{Addr: inet.Addr{Net: 3, Host: 1}, Net: 3}
+	d.Register("ap-nar", info)
+
+	got, ok := d.Lookup("ap-nar")
+	if !ok || got != info {
+		t.Fatalf("Lookup = %v/%t, want %v", got, ok, info)
+	}
+	if _, ok := d.Lookup("unknown"); ok {
+		t.Fatal("unknown AP resolved")
+	}
+	if _, ok := d.Lookup(""); ok {
+		t.Fatal("empty AP name resolved")
+	}
+	// Re-registration replaces.
+	info2 := ARInfo{Addr: inet.Addr{Net: 4, Host: 1}, Net: 4}
+	d.Register("ap-nar", info2)
+	if got, _ := d.Lookup("ap-nar"); got != info2 {
+		t.Fatalf("re-registration not applied: %v", got)
+	}
+}
+
+func TestMHConfigDefaults(t *testing.T) {
+	cfg := MHConfig{}
+	cfg.applyDefaults()
+	if cfg.BufferLifetime != DefaultBufferLifetime ||
+		cfg.StartOffset != DefaultStartOffset ||
+		cfg.FBUGuard != DefaultFBUGuard ||
+		cfg.SolicitTimeout != DefaultSolicitTimeout ||
+		cfg.RegistrationLifetime != DefaultRegistrationLifetime ||
+		cfg.PCoAHoldTime != DefaultPCoAHoldTime ||
+		cfg.TriggerHoldoff != DefaultTriggerHoldoff {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if rolePAR.String() != "par" || roleNAR.String() != "nar" || roleLinkLayer.String() != "link-layer" {
+		t.Fatal("role strings wrong")
+	}
+	if role(9).String() != "role(?)" {
+		t.Fatal("unknown role string")
+	}
+}

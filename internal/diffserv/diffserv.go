@@ -1,0 +1,128 @@
+// Package diffserv maps Differentiated Services code points onto the
+// buffering scheme's service classes — the thesis' second future-work
+// item: "the proposed method should be able to cooperate with DiffServ
+// network. The mapping between DiffServ traffic and the buffering
+// mechanism should be defined."
+//
+// The mapping follows the per-hop behaviours' intent (§3.3: "by mapping
+// the classes of service with the per hop behavior (PHB) in Diffserv, the
+// proposed method can operate in a Diffserv network"):
+//
+//   - Expedited Forwarding (EF) carries voice/video: real-time.
+//   - Assured Forwarding (AF) carries loss-sensitive elastic traffic:
+//     high-priority.
+//   - Class selectors CS5–CS7 mark network control: high-priority.
+//   - Default forwarding and the remaining code points: best effort.
+package diffserv
+
+import (
+	"fmt"
+
+	"repro/internal/inet"
+)
+
+// DSCP is a Differentiated Services code point (the upper six bits of the
+// IPv6 traffic-class octet).
+type DSCP uint8
+
+// Standard code points (RFC 2474, RFC 2597, RFC 3246).
+const (
+	DF DSCP = 0 // default forwarding
+
+	CS1 DSCP = 8
+	CS2 DSCP = 16
+	CS3 DSCP = 24
+	CS4 DSCP = 32
+	CS5 DSCP = 40
+	CS6 DSCP = 48
+	CS7 DSCP = 56
+
+	AF11 DSCP = 10
+	AF12 DSCP = 12
+	AF13 DSCP = 14
+	AF21 DSCP = 18
+	AF22 DSCP = 20
+	AF23 DSCP = 22
+	AF31 DSCP = 26
+	AF32 DSCP = 28
+	AF33 DSCP = 30
+	AF41 DSCP = 34
+	AF42 DSCP = 36
+	AF43 DSCP = 38
+
+	EF DSCP = 46
+)
+
+// Valid reports whether d fits in six bits.
+func (d DSCP) Valid() bool { return d < 64 }
+
+// IsAF reports whether d is one of the twelve assured-forwarding code
+// points.
+func (d DSCP) IsAF() bool {
+	class, drop := uint8(d)>>3, uint8(d)&7
+	return class >= 1 && class <= 4 && drop >= 2 && drop <= 6 && drop%2 == 0
+}
+
+// String implements fmt.Stringer.
+func (d DSCP) String() string {
+	switch {
+	case d == DF:
+		return "DF"
+	case d == EF:
+		return "EF"
+	case d.IsAF():
+		return fmt.Sprintf("AF%d%d", uint8(d)>>3, (uint8(d)&7)/2)
+	case d&7 == 0 && d.Valid():
+		return fmt.Sprintf("CS%d", uint8(d)>>3)
+	default:
+		return fmt.Sprintf("DSCP(%d)", uint8(d))
+	}
+}
+
+// ToClass maps a code point to the buffering scheme's service class.
+func ToClass(d DSCP) inet.Class {
+	switch {
+	case d == EF:
+		return inet.ClassRealTime
+	case d.IsAF():
+		return inet.ClassHighPriority
+	case d == CS5 || d == CS6 || d == CS7:
+		return inet.ClassHighPriority // network control
+	default:
+		return inet.ClassBestEffort
+	}
+}
+
+// FromClass picks a canonical code point for a service class, for traffic
+// originated inside the handover domain and leaving into a DiffServ
+// network.
+func FromClass(c inet.Class) DSCP {
+	switch c.Effective() {
+	case inet.ClassRealTime:
+		return EF
+	case inet.ClassHighPriority:
+		return AF41
+	default:
+		return DF
+	}
+}
+
+// Mark stamps the packet's class-of-traffic field from a DiffServ code
+// point, as an edge router admitting DiffServ traffic into the handover
+// domain would.
+func Mark(pkt *inet.Packet, d DSCP) {
+	pkt.Class = ToClass(d)
+}
+
+// Marker returns a packet hook that classifies by a per-flow DSCP table,
+// falling back to best effort. Wire it in front of a correspondent node's
+// send path to simulate a DiffServ edge.
+func Marker(byFlow map[inet.FlowID]DSCP) func(*inet.Packet) {
+	return func(pkt *inet.Packet) {
+		if d, ok := byFlow[pkt.Flow]; ok {
+			Mark(pkt, d)
+			return
+		}
+		pkt.Class = inet.ClassBestEffort
+	}
+}

@@ -1,0 +1,135 @@
+package diffserv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/inet"
+)
+
+func TestToClassMapping(t *testing.T) {
+	tests := []struct {
+		give DSCP
+		want inet.Class
+	}{
+		{EF, inet.ClassRealTime},
+		{AF11, inet.ClassHighPriority},
+		{AF22, inet.ClassHighPriority},
+		{AF33, inet.ClassHighPriority},
+		{AF41, inet.ClassHighPriority},
+		{AF43, inet.ClassHighPriority},
+		{CS5, inet.ClassHighPriority},
+		{CS6, inet.ClassHighPriority},
+		{CS7, inet.ClassHighPriority},
+		{DF, inet.ClassBestEffort},
+		{CS1, inet.ClassBestEffort},
+		{CS4, inet.ClassBestEffort},
+		{DSCP(63), inet.ClassBestEffort},
+	}
+	for _, tt := range tests {
+		if got := ToClass(tt.give); got != tt.want {
+			t.Errorf("ToClass(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFromClassRoundTrips(t *testing.T) {
+	for _, c := range inet.Classes {
+		if got := ToClass(FromClass(c)); got != c {
+			t.Errorf("ToClass(FromClass(%v)) = %v", c, got)
+		}
+	}
+	if FromClass(inet.ClassUnspecified) != DF {
+		t.Error("unspecified should map to default forwarding")
+	}
+}
+
+func TestDSCPStrings(t *testing.T) {
+	tests := []struct {
+		give DSCP
+		want string
+	}{
+		{DF, "DF"},
+		{EF, "EF"},
+		{AF11, "AF11"},
+		{AF42, "AF42"},
+		{CS3, "CS3"},
+		{CS7, "CS7"},
+		{DSCP(13), "DSCP(13)"},
+		{DSCP(99), "DSCP(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("(%d).String() = %q, want %q", uint8(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestIsAFExactlyTwelve(t *testing.T) {
+	count := 0
+	for d := DSCP(0); d < 64; d++ {
+		if d.IsAF() {
+			count++
+		}
+	}
+	if count != 12 {
+		t.Fatalf("IsAF matches %d code points, want 12", count)
+	}
+	for _, af := range []DSCP{AF11, AF12, AF13, AF21, AF22, AF23, AF31, AF32, AF33, AF41, AF42, AF43} {
+		if !af.IsAF() {
+			t.Errorf("%v not recognized as AF", af)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !DSCP(63).Valid() || DSCP(64).Valid() {
+		t.Fatal("Valid boundary wrong")
+	}
+}
+
+func TestMark(t *testing.T) {
+	pkt := &inet.Packet{Proto: inet.ProtoUDP}
+	Mark(pkt, EF)
+	if pkt.Class != inet.ClassRealTime {
+		t.Fatalf("Mark(EF) class = %v", pkt.Class)
+	}
+}
+
+func TestMarker(t *testing.T) {
+	mark := Marker(map[inet.FlowID]DSCP{1: EF, 2: AF21})
+	tests := []struct {
+		flow inet.FlowID
+		want inet.Class
+	}{
+		{1, inet.ClassRealTime},
+		{2, inet.ClassHighPriority},
+		{3, inet.ClassBestEffort}, // unknown flow
+	}
+	for _, tt := range tests {
+		pkt := &inet.Packet{Flow: tt.flow}
+		mark(pkt)
+		if pkt.Class != tt.want {
+			t.Errorf("flow %d marked %v, want %v", tt.flow, pkt.Class, tt.want)
+		}
+	}
+}
+
+// Property: every valid DSCP maps to a defined class, and only EF reaches
+// the real-time class (delay guarantees must not be handed out broadly).
+func TestPropertyMappingTotalAndConservative(t *testing.T) {
+	f := func(raw uint8) bool {
+		d := DSCP(raw % 64)
+		c := ToClass(d)
+		if !c.Valid() || c == inet.ClassUnspecified {
+			return false
+		}
+		if c == inet.ClassRealTime && d != EF {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package fho
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkEncodeHI(b *testing.B) {
+	m := &HI{PCoA: addr(2, 7), NCoA: addr(3, 7), MHLinkLayer: "ap-nar",
+		PARGranted: true, BR: &BufferRequest{Size: 20, Lifetime: sim.Second}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}
+
+func BenchmarkDecodeHI(b *testing.B) {
+	data := Encode(&HI{PCoA: addr(2, 7), NCoA: addr(3, 7), MHLinkLayer: "ap-nar",
+		PARGranted: true, BR: &BufferRequest{Size: 20, Lifetime: sim.Second}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignVerify(b *testing.B) {
+	a := NewAuthenticator([]byte("domain-key"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hi := &HI{PCoA: addr(2, 7), NCoA: addr(3, 7)}
+		a.SignHI(hi)
+		if !a.VerifyHI(hi) {
+			b.Fatal("verify failed")
+		}
+	}
+}

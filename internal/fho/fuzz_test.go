@@ -1,0 +1,31 @@
+package fho
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the wire decoder with arbitrary input. The invariants:
+// never panic, and anything that decodes re-encodes to something that
+// decodes to the same message (canonical-form round trip).
+func FuzzDecode(f *testing.F) {
+	for _, m := range sampleMessages() {
+		f.Add(Encode(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(m)
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if !bytes.Equal(re, Encode(m2)) {
+			t.Fatalf("canonical encoding unstable:\n first %x\nsecond %x", re, Encode(m2))
+		}
+	})
+}

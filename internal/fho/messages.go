@@ -1,0 +1,255 @@
+// Package fho defines the Fast Handovers for Mobile IPv6 control messages
+// together with the thesis' piggybacked buffer-management options:
+//
+//	RtSolPr + BI  — router solicitation for proxy + buffer initialization
+//	PrRtAdv       — proxy router advertisement (returns the negotiation)
+//	HI + BR       — handover initiate + buffer request
+//	HAck + BA     — handover acknowledge + buffer acknowledgement
+//	FBU / FBAck   — fast binding update / acknowledgement
+//	FNA + BF      — fast neighbor advertisement + buffer forward
+//	BF            — standalone buffer forward (NAR→PAR relay)
+//	BufferFull    — NAR→PAR notification that the NAR buffer filled
+//
+// Messages have a compact binary wire format (see wire.go) so control
+// packet sizes are accounted realistically and the encoding is testable.
+package fho
+
+import (
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// Kind discriminates the control messages on the wire.
+type Kind uint8
+
+const (
+	// KindRtSolPr is the Router Solicitation for Proxy.
+	KindRtSolPr Kind = iota + 1
+	// KindPrRtAdv is the Proxy Router Advertisement.
+	KindPrRtAdv
+	// KindHI is the Handover Initiate.
+	KindHI
+	// KindHAck is the Handover Acknowledge.
+	KindHAck
+	// KindFBU is the Fast Binding Update.
+	KindFBU
+	// KindFBAck is the Fast Binding Acknowledgement.
+	KindFBAck
+	// KindFNA is the Fast Neighbor Advertisement.
+	KindFNA
+	// KindBF is the standalone Buffer Forward.
+	KindBF
+	// KindBufferFull is the NAR's buffer-full notification.
+	KindBufferFull
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRtSolPr:
+		return "RtSolPr"
+	case KindPrRtAdv:
+		return "PrRtAdv"
+	case KindHI:
+		return "HI"
+	case KindHAck:
+		return "HAck"
+	case KindFBU:
+		return "FBU"
+	case KindFBAck:
+		return "FBAck"
+	case KindFNA:
+		return "FNA"
+	case KindBF:
+		return "BF"
+	case KindBufferFull:
+		return "BufferFull"
+	default:
+		return "Kind(?)"
+	}
+}
+
+// Message is a fast-handover control message.
+type Message interface {
+	// Kind returns the wire discriminator.
+	Kind() Kind
+	// appendTo serializes the message body (without the kind byte).
+	appendTo(dst []byte) []byte
+	// decode parses the message body, returning the remaining bytes.
+	decode(src []byte) ([]byte, error)
+}
+
+// BufferInit is the BI option piggybacked on RtSolPr (§3.2.2.1): the mobile
+// host's buffer request to its current access router.
+type BufferInit struct {
+	// Size is the requested buffer space in packets.
+	Size uint16
+	// Start is when the PAR should begin buffering even without an FBU,
+	// protecting hosts that move too fast to send one. Zero start and
+	// lifetime cancels the handoff.
+	Start sim.Time
+	// Lifetime bounds how long the buffering space stays allocated.
+	Lifetime sim.Time
+}
+
+// Cancelled reports whether the option encodes a handover cancellation
+// (start time and lifetime both zero, per the thesis).
+func (bi BufferInit) Cancelled() bool { return bi.Start == 0 && bi.Lifetime == 0 }
+
+// BufferRequest is the BR option piggybacked on HI: the buffer size and
+// lifetime the PAR relays to the NAR.
+type BufferRequest struct {
+	Size     uint16
+	Lifetime sim.Time
+}
+
+// BufferAck is the BA option piggybacked on HAck: whether the NAR can
+// provide the requested buffer space, and how much it granted. The grant
+// size lets the PAR switch to local buffering proactively once it has
+// forwarded a NAR buffer's worth, instead of always paying the BufferFull
+// round trip.
+type BufferAck struct {
+	Granted bool
+	Size    uint16
+}
+
+// RtSolPr is the Router Solicitation for Proxy, optionally carrying a BI.
+type RtSolPr struct {
+	// MH is the soliciting mobile host's current (previous) care-of
+	// address.
+	MH inet.Addr
+	// TargetAP is the link-layer identifier of the access point the host
+	// intends to attach to.
+	TargetAP string
+	// BI is the piggybacked buffer initialization (nil when the host does
+	// not request buffering).
+	BI *BufferInit
+	// MAC authenticates the message when the domain requires it.
+	MAC []byte
+}
+
+// Kind implements Message.
+func (*RtSolPr) Kind() Kind { return KindRtSolPr }
+
+// PrRtAdv is the Proxy Router Advertisement answering an RtSolPr. In the
+// enhanced scheme it also reports the outcome of the buffer negotiation so
+// the mobile host learns the allocation before disconnecting.
+type PrRtAdv struct {
+	// NAR is the new access router's address (zero for a pure link-layer
+	// handoff, where no router change happens).
+	NAR inet.Addr
+	// NARNet is the network prefix the NAR serves, from which the host
+	// formulates its new care-of address.
+	NARNet inet.NetID
+	// NCoA is the proposed new care-of address.
+	NCoA inet.Addr
+	// NARGranted and PARGranted report the buffer negotiation outcome
+	// (Table 3.2).
+	NARGranted bool
+	PARGranted bool
+	// LinkLayerOnly marks the §3.2.2.4 case: the target AP belongs to the
+	// same access router, so only buffering (no address change) happens.
+	LinkLayerOnly bool
+	// TargetAP names the access point the host should attach to. Solicited
+	// advertisements may leave it empty (the host chose the target);
+	// network-initiated ones must set it.
+	TargetAP string
+}
+
+// Kind implements Message.
+func (*PrRtAdv) Kind() Kind { return KindPrRtAdv }
+
+// Availability returns the negotiated buffer availability.
+func (m *PrRtAdv) Availability() (nar, par bool) { return m.NARGranted, m.PARGranted }
+
+// HI is the Handover Initiate sent PAR→NAR, optionally carrying a BR.
+type HI struct {
+	// PCoA is the mobile host's previous care-of address.
+	PCoA inet.Addr
+	// NCoA is the proposed new care-of address (may be zero when unknown).
+	NCoA inet.Addr
+	// MHLinkLayer is the host's link-layer identifier.
+	MHLinkLayer string
+	// PARGranted tells the NAR whether the PAR reserved buffer space, so
+	// both routers agree on the Table 3.2 case.
+	PARGranted bool
+	// BR is the piggybacked buffer request.
+	BR *BufferRequest
+	// MAC authenticates the message when the domain requires it
+	// (HMAC-SHA256; see Authenticator).
+	MAC []byte
+}
+
+// Kind implements Message.
+func (*HI) Kind() Kind { return KindHI }
+
+// HAck is the Handover Acknowledge sent NAR→PAR, optionally carrying a BA.
+type HAck struct {
+	// Accepted reports whether the NAR accepted the handover (valid NCoA,
+	// host route installed, reverse tunnel ready).
+	Accepted bool
+	// PCoA identifies the session this acknowledgement belongs to.
+	PCoA inet.Addr
+	// BA is the piggybacked buffer acknowledgement.
+	BA *BufferAck
+}
+
+// Kind implements Message.
+func (*HAck) Kind() Kind { return KindHAck }
+
+// FBU is the Fast Binding Update the mobile host sends to the PAR right
+// before disconnecting; it starts packet redirection.
+type FBU struct {
+	PCoA inet.Addr
+	NCoA inet.Addr
+	// MAC authenticates the message when the domain requires it.
+	MAC []byte
+}
+
+// Kind implements Message.
+func (*FBU) Kind() Kind { return KindFBU }
+
+// FBAck is the Fast Binding Acknowledgement, sent to the mobile host on
+// both the old and new links and to the NAR.
+type FBAck struct {
+	Accepted bool
+	PCoA     inet.Addr
+}
+
+// Kind implements Message.
+func (*FBAck) Kind() Kind { return KindFBAck }
+
+// FNA is the Fast Neighbor Advertisement the host sends on attaching to the
+// NAR; with BufferForward set it doubles as the BF of the enhanced scheme.
+type FNA struct {
+	// NCoA is the address the host announces on the new link.
+	NCoA inet.Addr
+	// PCoA identifies the handoff session.
+	PCoA inet.Addr
+	// BufferForward requests immediate release of the buffered packets.
+	BufferForward bool
+	// MAC authenticates the message when the domain requires it.
+	MAC []byte
+}
+
+// Kind implements Message.
+func (*FNA) Kind() Kind { return KindFNA }
+
+// BF is the standalone Buffer Forward message: relayed NAR→PAR, or sent
+// MH→AR after a pure link-layer handoff.
+type BF struct {
+	PCoA inet.Addr
+}
+
+// Kind implements Message.
+func (*BF) Kind() Kind { return KindBF }
+
+// BufferFull notifies the PAR that the NAR's buffer space for a session is
+// exhausted, so the PAR should buffer the remaining high-priority packets
+// (Case 1.b).
+type BufferFull struct {
+	PCoA inet.Addr
+}
+
+// Kind implements Message.
+func (*BufferFull) Kind() Kind { return KindBufferFull }

@@ -1,0 +1,63 @@
+// Package inet defines the simulator's network-layer vocabulary: addresses,
+// service classes (Table 3.1 of the thesis), packets, and IP-in-IP tunnel
+// encapsulation.
+//
+// Addresses are a compact stand-in for IPv6: a 32-bit network prefix plus a
+// 32-bit host part. Only the fields the protocols actually read are
+// modelled; everything else about real IPv6 headers is irrelevant to the
+// experiments.
+package inet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NetID identifies a network (an IPv6 prefix in the paper's terms). Every
+// access router advertises exactly one NetID.
+type NetID uint32
+
+// HostID identifies a host within a network.
+type HostID uint32
+
+// Addr is a network-layer address.
+type Addr struct {
+	Net  NetID
+	Host HostID
+}
+
+// Unspecified is the zero address (analogous to ::).
+var Unspecified = Addr{}
+
+// IsUnspecified reports whether a is the zero address.
+func (a Addr) IsUnspecified() bool { return a == Unspecified }
+
+// String renders the address as "net:host", e.g. "3:17".
+func (a Addr) String() string {
+	return strconv.FormatUint(uint64(a.Net), 10) + ":" + strconv.FormatUint(uint64(a.Host), 10)
+}
+
+// ParseAddr parses the "net:host" form produced by String.
+func ParseAddr(s string) (Addr, error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return Addr{}, fmt.Errorf("inet: parse addr %q: missing ':'", s)
+	}
+	network, err := strconv.ParseUint(s[:i], 10, 32)
+	if err != nil {
+		return Addr{}, fmt.Errorf("inet: parse addr %q: bad net: %v", s, err)
+	}
+	host, err := strconv.ParseUint(s[i+1:], 10, 32)
+	if err != nil {
+		return Addr{}, fmt.Errorf("inet: parse addr %q: bad host: %v", s, err)
+	}
+	return Addr{Net: NetID(network), Host: HostID(host)}, nil
+}
+
+// OnNet reports whether the address belongs to the given network.
+func (a Addr) OnNet(n NetID) bool { return a.Net == n }
+
+// FlowID identifies an application flow end-to-end (a CN→MH stream). The
+// zero FlowID means "not part of a tracked flow" (control traffic).
+type FlowID uint32

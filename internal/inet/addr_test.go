@@ -1,0 +1,139 @@
+package inet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrString(t *testing.T) {
+	tests := []struct {
+		give Addr
+		want string
+	}{
+		{Addr{Net: 0, Host: 0}, "0:0"},
+		{Addr{Net: 3, Host: 17}, "3:17"},
+		{Addr{Net: 4294967295, Host: 1}, "4294967295:1"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    Addr
+		wantErr bool
+	}{
+		{give: "3:17", want: Addr{Net: 3, Host: 17}},
+		{give: "0:0", want: Addr{}},
+		{give: "no-colon", wantErr: true},
+		{give: "x:1", wantErr: true},
+		{give: "1:y", wantErr: true},
+		{give: "-1:2", wantErr: true},
+		{give: "99999999999:1", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseAddr(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseAddr(%q) = %v, want error", tt.give, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseAddr(%q): %v", tt.give, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+// Property: ParseAddr inverts String.
+func TestPropertyAddrRoundTrip(t *testing.T) {
+	f := func(n uint32, h uint32) bool {
+		a := Addr{Net: NetID(n), Host: HostID(h)}
+		got, err := ParseAddr(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnspecified(t *testing.T) {
+	if !Unspecified.IsUnspecified() {
+		t.Fatal("Unspecified.IsUnspecified() = false")
+	}
+	if (Addr{Net: 1}).IsUnspecified() {
+		t.Fatal("{1,0}.IsUnspecified() = true")
+	}
+}
+
+func TestOnNet(t *testing.T) {
+	a := Addr{Net: 5, Host: 9}
+	if !a.OnNet(5) {
+		t.Fatal("OnNet(5) = false")
+	}
+	if a.OnNet(6) {
+		t.Fatal("OnNet(6) = true")
+	}
+}
+
+func TestClassEffective(t *testing.T) {
+	tests := []struct {
+		give Class
+		want Class
+	}{
+		{ClassUnspecified, ClassBestEffort},
+		{ClassRealTime, ClassRealTime},
+		{ClassHighPriority, ClassHighPriority},
+		{ClassBestEffort, ClassBestEffort},
+	}
+	for _, tt := range tests {
+		if got := tt.give.Effective(); got != tt.want {
+			t.Errorf("%v.Effective() = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestClassValues(t *testing.T) {
+	// Table 3.1 pins the field encoding; these values are part of the
+	// protocol contract.
+	if ClassUnspecified != 0 || ClassRealTime != 1 || ClassHighPriority != 2 || ClassBestEffort != 3 {
+		t.Fatal("class field values diverge from Table 3.1")
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	for c := Class(0); c <= 3; c++ {
+		if !c.Valid() {
+			t.Errorf("Class(%d).Valid() = false", c)
+		}
+	}
+	if Class(4).Valid() {
+		t.Error("Class(4).Valid() = true")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		give Class
+		want string
+	}{
+		{ClassUnspecified, "unspecified"},
+		{ClassRealTime, "real-time"},
+		{ClassHighPriority, "high-priority"},
+		{ClassBestEffort, "best-effort"},
+		{Class(9), "class(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Class.String() = %q, want %q", got, tt.want)
+		}
+	}
+}

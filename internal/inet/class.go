@@ -1,0 +1,54 @@
+package inet
+
+import "fmt"
+
+// Class is the class-of-service field carried in the packet header
+// (Table 3.1 of the thesis). The thesis defines the values of the IPv6
+// traffic-class field for the three service types it introduces.
+type Class uint8
+
+const (
+	// ClassUnspecified means the sender set no class; the scheme treats it
+	// as best effort (Table 3.1, value 0).
+	ClassUnspecified Class = 0
+	// ClassRealTime marks packets that are useless if delayed (value 1).
+	ClassRealTime Class = 1
+	// ClassHighPriority marks packets whose loss must be minimized
+	// (value 2).
+	ClassHighPriority Class = 2
+	// ClassBestEffort marks low-priority packets that may be delayed or
+	// dropped (value 3).
+	ClassBestEffort Class = 3
+)
+
+// Classes lists the three service types in the order the thesis uses
+// (F1 real-time, F2 high-priority, F3 best-effort).
+var Classes = []Class{ClassRealTime, ClassHighPriority, ClassBestEffort}
+
+// Effective resolves ClassUnspecified to ClassBestEffort, per Table 3.1
+// ("not specified, treated as best effort").
+func (c Class) Effective() Class {
+	if c == ClassUnspecified {
+		return ClassBestEffort
+	}
+	return c
+}
+
+// Valid reports whether c is one of the defined field values.
+func (c Class) Valid() bool { return c <= ClassBestEffort }
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassUnspecified:
+		return "unspecified"
+	case ClassRealTime:
+		return "real-time"
+	case ClassHighPriority:
+		return "high-priority"
+	case ClassBestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}

@@ -1,0 +1,111 @@
+package mip
+
+import (
+	"repro/internal/inet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// AgentConfig parameterizes a mobility agent (MAP or home agent).
+type AgentConfig struct {
+	// ManagedNet is the prefix whose addresses the agent intercepts (the
+	// MAP's RCoA subnet, or the home network).
+	ManagedNet inet.NetID
+	// MaxLifetime caps granted binding lifetimes. Zero means "grant the
+	// requested lifetime unchanged".
+	MaxLifetime sim.Time
+}
+
+// Agent is a mobility anchor: a router that intercepts packets addressed
+// into its managed prefix and tunnels them to the registered care-of
+// address. With ManagedNet set to the MAP subnet it is a Hierarchical
+// Mobile IPv6 MAP; with the home prefix it is a home agent. The two roles
+// share all mechanics, which is exactly the thesis' "the MAP can be thought
+// of as a local home agent" observation.
+type Agent struct {
+	router *netsim.Router
+	engine *sim.Engine
+	cfg    AgentConfig
+	cache  *BindingCache
+
+	intercepted uint64
+	noBinding   uint64
+}
+
+// NewAgent wraps a router (created by the caller and already linked into
+// the topology) with mobility-agent behaviour. It installs Intercept and
+// LocalDeliver hooks on the router.
+func NewAgent(engine *sim.Engine, router *netsim.Router, cfg AgentConfig) *Agent {
+	a := &Agent{
+		router: router,
+		engine: engine,
+		cfg:    cfg,
+		cache:  NewBindingCache(),
+	}
+	router.Intercept = a.intercept
+	router.LocalDeliver = a.localDeliver
+	return a
+}
+
+// Router returns the underlying forwarding element.
+func (a *Agent) Router() *netsim.Router { return a.router }
+
+// Cache exposes the binding cache (read-mostly; tests and traces).
+func (a *Agent) Cache() *BindingCache { return a.cache }
+
+// Intercepted counts packets tunnelled to a care-of address.
+func (a *Agent) Intercepted() uint64 { return a.intercepted }
+
+// NoBinding counts managed-prefix packets dropped for lack of a binding.
+func (a *Agent) NoBinding() uint64 { return a.noBinding }
+
+// Register installs a binding directly (used for initial attachment, where
+// the thesis' scenarios start with the host already registered).
+func (a *Agent) Register(key, coa inet.Addr, lifetime sim.Time) {
+	a.cache.Update(key, coa, 0, lifetime, a.engine.Now())
+}
+
+// intercept tunnels packets addressed into the managed prefix toward the
+// bound care-of address.
+func (a *Agent) intercept(in *netsim.Iface, pkt *inet.Packet) bool {
+	if pkt.Dst.Net != a.cfg.ManagedNet || pkt.Dst == a.router.Addr() {
+		return false
+	}
+	b, ok := a.cache.Lookup(pkt.Dst, a.engine.Now())
+	if !ok {
+		a.noBinding++
+		return true // consumed: no route for an unbound managed address
+	}
+	a.intercepted++
+	a.router.Forward(pkt.Encapsulate(a.router.Addr(), b.CoA))
+	return true
+}
+
+// localDeliver processes binding updates addressed to the agent itself.
+func (a *Agent) localDeliver(in *netsim.Iface, pkt *inet.Packet) bool {
+	bu, ok := pkt.Payload.(*BindingUpdate)
+	if !ok {
+		return false // not ours; router handles tunnels etc.
+	}
+	now := a.engine.Now()
+	granted := bu.Lifetime
+	if a.cfg.MaxLifetime > 0 && granted > a.cfg.MaxLifetime {
+		granted = a.cfg.MaxLifetime
+	}
+	accepted := true
+	if bu.Deregister() {
+		a.cache.Remove(bu.Key)
+	} else {
+		accepted = a.cache.Update(bu.Key, bu.CoA, bu.Seq, granted, now)
+	}
+	ack := &inet.Packet{
+		Src:     a.router.Addr(),
+		Dst:     pkt.Src,
+		Proto:   inet.ProtoControl,
+		Size:    BindingAckSize,
+		Created: now,
+		Payload: &BindingAck{Key: bu.Key, Seq: bu.Seq, Accepted: accepted, Lifetime: granted},
+	}
+	a.router.Forward(ack)
+	return true
+}

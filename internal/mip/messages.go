@@ -1,0 +1,39 @@
+package mip
+
+import (
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// BindingUpdate registers a care-of address with a MAP or home agent.
+type BindingUpdate struct {
+	// Key is the stable address being bound (RCoA at a MAP, home address
+	// at a home agent).
+	Key inet.Addr
+	// CoA is the current care-of address. An unspecified CoA with zero
+	// lifetime deregisters.
+	CoA inet.Addr
+	// Lifetime requests how long the binding should live.
+	Lifetime sim.Time
+	// Seq orders updates from the same host.
+	Seq uint16
+}
+
+// Deregister reports whether the update removes the binding.
+func (m *BindingUpdate) Deregister() bool { return m.Lifetime == 0 }
+
+// BindingAck confirms (or refuses) a binding update.
+type BindingAck struct {
+	Key      inet.Addr
+	Seq      uint16
+	Accepted bool
+	// Lifetime is the granted lifetime, which may be shorter than
+	// requested.
+	Lifetime sim.Time
+}
+
+// Wire sizes of the mobility-header messages, used to size control packets.
+const (
+	BindingUpdateSize = 56
+	BindingAckSize    = 52
+)

@@ -1,0 +1,229 @@
+package mip4
+
+import (
+	"sort"
+
+	"repro/internal/inet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Visitor is one entry of the foreign agent's visitor list — the thesis'
+// four-column table: "home address", "home agent address", "MAC address of
+// the mobile node", and "association lifetime".
+type Visitor struct {
+	Home      inet.Addr
+	HomeAgent inet.Addr
+	MAC       string
+	Expires   sim.Time
+	// via is the interface the visitor is reachable on.
+	via *netsim.Iface
+	// pending marks an entry awaiting the home agent's reply.
+	pending bool
+}
+
+// ForeignAgent resides on a foreign network, advertises its address as the
+// care-of address, relays registrations to home agents, and delivers
+// decapsulated tunnel traffic to its visitors.
+type ForeignAgent struct {
+	router *netsim.Router
+	engine *sim.Engine
+
+	visitors map[inet.Addr]*Visitor
+	// maxVisitors bounds the visitor list (zero: unbounded).
+	maxVisitors int
+	// advertisedLifetime is offered in agent advertisements.
+	advertisedLifetime sim.Time
+
+	seq     uint16
+	denied  uint64
+	relayed uint64
+}
+
+// NewForeignAgent wraps a router with foreign-agent behaviour.
+// advertisedLifetime is the longest registration it accepts; maxVisitors
+// bounds the visitor list (zero: unbounded).
+func NewForeignAgent(engine *sim.Engine, router *netsim.Router,
+	advertisedLifetime sim.Time, maxVisitors int) *ForeignAgent {
+	fa := &ForeignAgent{
+		router:             router,
+		engine:             engine,
+		visitors:           make(map[inet.Addr]*Visitor),
+		maxVisitors:        maxVisitors,
+		advertisedLifetime: advertisedLifetime,
+	}
+	router.LocalDeliver = fa.localDeliver
+	return fa
+}
+
+// Router returns the underlying forwarding element.
+func (fa *ForeignAgent) Router() *netsim.Router { return fa.router }
+
+// CoA returns the care-of address the agent offers (its own address).
+func (fa *ForeignAgent) CoA() inet.Addr { return fa.router.Addr() }
+
+// Denied counts refused registrations.
+func (fa *ForeignAgent) Denied() uint64 { return fa.denied }
+
+// Relayed counts registration requests forwarded to home agents.
+func (fa *ForeignAgent) Relayed() uint64 { return fa.relayed }
+
+// Visitors returns a deterministic snapshot of the confirmed visitor list.
+func (fa *ForeignAgent) Visitors() []Visitor {
+	now := fa.engine.Now()
+	out := make([]Visitor, 0, len(fa.visitors))
+	for _, v := range fa.visitors {
+		if !v.pending && v.Expires > now {
+			out = append(out, *v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Home.Net != out[j].Home.Net {
+			return out[i].Home.Net < out[j].Home.Net
+		}
+		return out[i].Home.Host < out[j].Home.Host
+	})
+	return out
+}
+
+// Advertisement returns the next agent advertisement to broadcast on the
+// foreign link (the caller delivers it — over a wireless beacon or a
+// wired broadcast).
+func (fa *ForeignAgent) Advertisement() AgentAdvertisement {
+	fa.seq++
+	return AgentAdvertisement{
+		Agent:    fa.router.Addr(),
+		CoA:      fa.CoA(),
+		Foreign:  true,
+		Lifetime: fa.advertisedLifetime,
+		Seq:      fa.seq,
+	}
+}
+
+// Purge drops lapsed visitor entries and their host routes, returning how
+// many were removed.
+func (fa *ForeignAgent) Purge() int {
+	now := fa.engine.Now()
+	removed := 0
+	for home, v := range fa.visitors {
+		if !v.pending && v.Expires <= now {
+			fa.router.RemoveHostRoute(home)
+			delete(fa.visitors, home)
+			removed++
+		}
+	}
+	return removed
+}
+
+// localDeliver dispatches registration traffic addressed to the agent.
+func (fa *ForeignAgent) localDeliver(in *netsim.Iface, pkt *inet.Packet) bool {
+	switch msg := pkt.Payload.(type) {
+	case *RegistrationRequest:
+		fa.handleRequest(in, msg)
+		return true
+	case *RegistrationReply:
+		fa.handleReply(msg)
+		return true
+	case *AgentSolicitation:
+		fa.handleSolicitation(in, msg)
+		return true
+	}
+	return false // tunnels terminating here decapsulate via the default path
+}
+
+// handleRequest relays a mobile node's registration to its home agent
+// (stage 2c: "the foreign agent in turn performs the registration process
+// by sending a Registration Request to the home agent").
+func (fa *ForeignAgent) handleRequest(in *netsim.Iface, req *RegistrationRequest) {
+	if _, known := fa.visitors[req.Home]; !known && !req.Deregister() &&
+		fa.maxVisitors > 0 && len(fa.visitors) >= fa.maxVisitors {
+		fa.denied++
+		fa.deliverReply(in, &RegistrationReply{
+			Home: req.Home, CoA: fa.CoA(), Code: RegistrationDeniedFA, ID: req.ID,
+		})
+		return
+	}
+	if req.Lifetime > fa.advertisedLifetime {
+		fa.denied++
+		fa.deliverReply(in, &RegistrationReply{
+			Home: req.Home, CoA: fa.CoA(), Code: RegistrationBadLifetime, ID: req.ID,
+		})
+		return
+	}
+	fa.visitors[req.Home] = &Visitor{
+		Home:      req.Home,
+		HomeAgent: req.HomeAgent,
+		MAC:       req.MAC,
+		via:       in,
+		pending:   true,
+	}
+	relayed := *req
+	relayed.CoA = fa.CoA()
+	fa.relayed++
+	fa.router.Forward(&inet.Packet{
+		Src:     fa.router.Addr(),
+		Dst:     req.HomeAgent,
+		Proto:   inet.ProtoControl,
+		Size:    RegistrationRequestSize,
+		Created: fa.engine.Now(),
+		Payload: &relayed,
+	})
+}
+
+// handleReply confirms (or removes) the visitor entry and relays the reply
+// to the mobile node (stage 2e: "updates its visitor list ... and relays
+// the reply to the mobile host").
+func (fa *ForeignAgent) handleReply(reply *RegistrationReply) {
+	v, ok := fa.visitors[reply.Home]
+	if !ok {
+		return
+	}
+	switch {
+	case !reply.Accepted():
+		fa.router.RemoveHostRoute(reply.Home)
+		delete(fa.visitors, reply.Home)
+	case reply.Lifetime == 0:
+		// Accepted deregistration.
+		fa.router.RemoveHostRoute(reply.Home)
+		delete(fa.visitors, reply.Home)
+	default:
+		v.pending = false
+		v.Expires = fa.engine.Now() + reply.Lifetime
+		fa.router.AddHostRoute(reply.Home, v.via)
+	}
+	fa.deliverReply(v.via, reply)
+}
+
+// handleSolicitation answers with an immediate unicast advertisement.
+func (fa *ForeignAgent) handleSolicitation(in *netsim.Iface, sol *AgentSolicitation) {
+	adv := fa.Advertisement()
+	fa.router.Forward(&inet.Packet{
+		Src:     fa.router.Addr(),
+		Dst:     sol.From,
+		Proto:   inet.ProtoControl,
+		Size:    AgentAdvertisementSize,
+		Created: fa.engine.Now(),
+		Payload: &adv,
+	})
+	// The soliciting node may not be routable yet; deliver on the arrival
+	// interface directly.
+	_ = in
+}
+
+// deliverReply sends a registration reply toward the mobile node on its
+// link.
+func (fa *ForeignAgent) deliverReply(via *netsim.Iface, reply *RegistrationReply) {
+	pkt := &inet.Packet{
+		Src:     fa.router.Addr(),
+		Dst:     reply.Home,
+		Proto:   inet.ProtoControl,
+		Size:    RegistrationReplySize,
+		Created: fa.engine.Now(),
+		Payload: reply,
+	}
+	if via != nil {
+		via.Send(pkt)
+		return
+	}
+	fa.router.Forward(pkt)
+}

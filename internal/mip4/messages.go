@@ -1,0 +1,100 @@
+// Package mip4 implements the classic Mobile IPv4 protocol of the thesis'
+// Chapter 2 (RFC 2002): home agents with mobility binding tables, foreign
+// agents with visitor lists, the four protocol stages (agent discovery,
+// registration relayed through the foreign agent, in-service tunnelling
+// with foreign-agent decapsulation, deregistration), and the mobile node's
+// registration state machine.
+//
+// The thesis' proposed scheme targets Mobile IPv6 but notes that "with a
+// slightly modification, we can easily apply it on IPv4 network"; this
+// package provides that IPv4 side of the substrate, and its tests pin the
+// Figure 2.1 message flow.
+package mip4
+
+import (
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// AgentAdvertisement is the mobility-agent advertisement (§2.1.1 stage 1:
+// "mobility agents advertise their presence by periodically broadcasting").
+type AgentAdvertisement struct {
+	// Agent is the advertising agent's address.
+	Agent inet.Addr
+	// CoA is the care-of address offered (the foreign agent's address;
+	// empty for a home agent advertising only on its home link).
+	CoA inet.Addr
+	// Home and Foreign flag which services the agent offers.
+	Home, Foreign bool
+	// Lifetime is the longest registration the agent accepts.
+	Lifetime sim.Time
+	// Seq increases with every advertisement, letting nodes detect agent
+	// reboots.
+	Seq uint16
+}
+
+// AgentSolicitation asks agents on the link to advertise immediately
+// (stage 1b: "if it does not wish to wait for the periodically
+// advertisement").
+type AgentSolicitation struct {
+	// From is the soliciting node's address.
+	From inet.Addr
+}
+
+// RegistrationRequest is sent by the mobile node to the foreign agent and
+// relayed to the home agent (stage 2: "this message includes the home
+// address of the mobile host and the IP address of its home agent").
+type RegistrationRequest struct {
+	// Home is the mobile node's home address.
+	Home inet.Addr
+	// HomeAgent is where the foreign agent relays the request.
+	HomeAgent inet.Addr
+	// CoA is the care-of address being registered (the foreign agent's).
+	CoA inet.Addr
+	// MAC is the node's link-layer identifier, recorded in the visitor
+	// list.
+	MAC string
+	// Lifetime requests the association lifetime; zero deregisters
+	// (stage 4: "sends a Registration Request with lifetime field set to
+	// zero").
+	Lifetime sim.Time
+	// ID matches replies to requests (and provides replay protection in
+	// the real protocol).
+	ID uint64
+}
+
+// Deregister reports whether the request cancels the binding.
+func (m *RegistrationRequest) Deregister() bool { return m.Lifetime == 0 }
+
+// RegistrationReply answers a request, relayed back through the foreign
+// agent.
+type RegistrationReply struct {
+	Home inet.Addr
+	// CoA echoes the registered care-of address.
+	CoA inet.Addr
+	// Code is zero on success (RegistrationAccepted).
+	Code uint8
+	// Lifetime is the granted lifetime, possibly shorter than requested.
+	Lifetime sim.Time
+	ID       uint64
+}
+
+// Registration reply codes (a subset of RFC 2002 §3.8.3).
+const (
+	RegistrationAccepted    uint8 = 0
+	RegistrationDeniedFA    uint8 = 64 // denied by the foreign agent
+	RegistrationDeniedHA    uint8 = 128
+	RegistrationBadLifetime uint8 = 69
+)
+
+// Accepted reports whether the reply grants the registration.
+func (m *RegistrationReply) Accepted() bool { return m.Code == RegistrationAccepted }
+
+// Wire sizes of the UDP-borne registration messages (RFC 2002 formats
+// plus IP/UDP headers), used to size control packets.
+const (
+	AgentAdvertisementSize  = 48
+	AgentSolicitationSize   = 28
+	RegistrationRequestSize = 56
+	RegistrationReplySize   = 48
+)

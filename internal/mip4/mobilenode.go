@@ -1,0 +1,190 @@
+package mip4
+
+import (
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// MobileNodeConfig parameterizes a Mobile IPv4 node's registration
+// behaviour.
+type MobileNodeConfig struct {
+	// Home is the node's permanent home address.
+	Home inet.Addr
+	// HomeAgent is its home agent's address.
+	HomeAgent inet.Addr
+	// MAC is the link-layer identifier recorded in visitor lists.
+	MAC string
+	// Lifetime is the association lifetime requested on registration.
+	// Zero selects DefaultRegistrationLifetime.
+	Lifetime sim.Time
+	// RetryInterval spaces registration retransmissions. Zero selects
+	// DefaultRetryInterval.
+	RetryInterval sim.Time
+}
+
+// Defaults for MobileNodeConfig fields left zero.
+const (
+	DefaultRegistrationLifetime = 60 * sim.Second
+	DefaultRetryInterval        = 1 * sim.Second
+	maxRegistrationTries        = 5
+)
+
+// MobileNode is the mobile side of Mobile IPv4: agent discovery, the
+// registration state machine with retransmission and renewal, and
+// deregistration.
+type MobileNode struct {
+	engine *sim.Engine
+	cfg    MobileNodeConfig
+	// send transmits a packet on the node's current link.
+	send func(*inet.Packet)
+
+	coa        inet.Addr // current registered (or registering) care-of address
+	registered bool
+	pendingID  uint64
+	nextID     uint64
+	tries      int
+
+	retry *sim.Timer
+	renew *sim.Timer
+
+	// OnRegistered fires when a registration (or renewal) is accepted.
+	OnRegistered func(coa inet.Addr, lifetime sim.Time)
+	// OnDenied fires when the infrastructure refuses a registration.
+	OnDenied func(code uint8)
+}
+
+// NewMobileNode creates a node that transmits through send.
+func NewMobileNode(engine *sim.Engine, cfg MobileNodeConfig, send func(*inet.Packet)) *MobileNode {
+	if cfg.Lifetime == 0 {
+		cfg.Lifetime = DefaultRegistrationLifetime
+	}
+	if cfg.RetryInterval == 0 {
+		cfg.RetryInterval = DefaultRetryInterval
+	}
+	if send == nil {
+		panic("mip4: NewMobileNode with nil send")
+	}
+	mn := &MobileNode{engine: engine, cfg: cfg, send: send}
+	mn.retry = sim.NewTimer(engine, mn.retransmit)
+	mn.renew = sim.NewTimer(engine, mn.renewRegistration)
+	return mn
+}
+
+// Registered reports whether the node holds an accepted binding.
+func (mn *MobileNode) Registered() bool { return mn.registered }
+
+// CoA returns the current care-of address (zero when unregistered).
+func (mn *MobileNode) CoA() inet.Addr { return mn.coa }
+
+// HandleAdvertisement implements movement detection (stage 1a): an
+// advertisement offering a different care-of address triggers a new
+// registration through that agent.
+func (mn *MobileNode) HandleAdvertisement(adv AgentAdvertisement) {
+	if !adv.Foreign || adv.CoA.IsUnspecified() {
+		return
+	}
+	if adv.CoA == mn.coa {
+		return // current agent; renewals are timer-driven
+	}
+	mn.registerVia(adv.CoA, adv.Agent)
+}
+
+// Solicit broadcasts an agent solicitation (stage 1b). The caller routes
+// it to the link's agent.
+func (mn *MobileNode) Solicit(agent inet.Addr) {
+	mn.send(&inet.Packet{
+		Src:     mn.cfg.Home,
+		Dst:     agent,
+		Proto:   inet.ProtoControl,
+		Size:    AgentSolicitationSize,
+		Created: mn.engine.Now(),
+		Payload: &AgentSolicitation{From: mn.cfg.Home},
+	})
+}
+
+// HandleReply completes a pending registration.
+func (mn *MobileNode) HandleReply(reply *RegistrationReply) {
+	if reply.ID != mn.pendingID || mn.pendingID == 0 {
+		return // stale or unsolicited
+	}
+	mn.pendingID = 0
+	mn.retry.Stop()
+	if !reply.Accepted() {
+		mn.registered = false
+		mn.coa = inet.Unspecified
+		if mn.OnDenied != nil {
+			mn.OnDenied(reply.Code)
+		}
+		return
+	}
+	if reply.Lifetime == 0 {
+		// Accepted deregistration.
+		mn.registered = false
+		mn.coa = inet.Unspecified
+		mn.renew.Stop()
+		return
+	}
+	mn.registered = true
+	mn.coa = reply.CoA
+	mn.renew.Reset(reply.Lifetime * 3 / 4)
+	if mn.OnRegistered != nil {
+		mn.OnRegistered(reply.CoA, reply.Lifetime)
+	}
+}
+
+// Deregister cancels the binding (stage 4: a request with zero lifetime).
+func (mn *MobileNode) Deregister(agent inet.Addr) {
+	mn.renew.Stop()
+	mn.sendRequest(agent, mn.coa, 0)
+}
+
+// registerVia starts (or restarts) a registration through the given agent.
+func (mn *MobileNode) registerVia(coa, agent inet.Addr) {
+	mn.coa = coa
+	mn.registered = false
+	mn.tries = 1
+	mn.sendRequest(agent, coa, mn.cfg.Lifetime)
+	mn.retry.Reset(mn.cfg.RetryInterval)
+}
+
+// renewRegistration refreshes the binding before it lapses.
+func (mn *MobileNode) renewRegistration() {
+	if !mn.registered {
+		return
+	}
+	mn.tries = 1
+	mn.sendRequest(mn.coa, mn.coa, mn.cfg.Lifetime)
+	mn.retry.Reset(mn.cfg.RetryInterval)
+}
+
+// retransmit resends an unanswered request.
+func (mn *MobileNode) retransmit() {
+	if mn.pendingID == 0 || mn.tries >= maxRegistrationTries {
+		return
+	}
+	mn.tries++
+	mn.sendRequest(mn.coa, mn.coa, mn.cfg.Lifetime)
+	mn.retry.Reset(mn.cfg.RetryInterval)
+}
+
+// sendRequest emits a registration request toward the agent. For the
+// common foreign-agent care-of address, the agent and CoA coincide.
+func (mn *MobileNode) sendRequest(agent, coa inet.Addr, lifetime sim.Time) {
+	mn.nextID++
+	mn.pendingID = mn.nextID
+	mn.send(&inet.Packet{
+		Src:     mn.cfg.Home,
+		Dst:     agent,
+		Proto:   inet.ProtoControl,
+		Size:    RegistrationRequestSize,
+		Created: mn.engine.Now(),
+		Payload: &RegistrationRequest{
+			Home:      mn.cfg.Home,
+			HomeAgent: mn.cfg.HomeAgent,
+			CoA:       coa,
+			MAC:       mn.cfg.MAC,
+			Lifetime:  lifetime,
+			ID:        mn.pendingID,
+		},
+	})
+}

@@ -1,0 +1,215 @@
+package mip4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// Wire format mirroring internal/fho: one kind byte + big-endian body.
+// RFC 2002's actual formats are UDP-borne type-length values; this compact
+// form keeps the same information content.
+
+// ErrTruncated reports a message body shorter than its fields require.
+var ErrTruncated = errors.New("mip4: truncated message")
+
+// wireKind discriminates the registration messages on the wire.
+type wireKind uint8
+
+const (
+	kindAgentAdvertisement wireKind = iota + 1
+	kindAgentSolicitation
+	kindRegistrationRequest
+	kindRegistrationReply
+)
+
+// Encode serializes a Mobile IPv4 control message.
+func Encode(m any) ([]byte, error) {
+	switch v := m.(type) {
+	case *AgentAdvertisement:
+		out := []byte{byte(kindAgentAdvertisement)}
+		out = putAddr(out, v.Agent)
+		out = putAddr(out, v.CoA)
+		out = putBool(out, v.Home)
+		out = putBool(out, v.Foreign)
+		out = putTime(out, v.Lifetime)
+		return binary.BigEndian.AppendUint16(out, v.Seq), nil
+	case *AgentSolicitation:
+		out := []byte{byte(kindAgentSolicitation)}
+		return putAddr(out, v.From), nil
+	case *RegistrationRequest:
+		out := []byte{byte(kindRegistrationRequest)}
+		out = putAddr(out, v.Home)
+		out = putAddr(out, v.HomeAgent)
+		out = putAddr(out, v.CoA)
+		out = putString(out, v.MAC)
+		out = putTime(out, v.Lifetime)
+		return binary.BigEndian.AppendUint64(out, v.ID), nil
+	case *RegistrationReply:
+		out := []byte{byte(kindRegistrationReply)}
+		out = putAddr(out, v.Home)
+		out = putAddr(out, v.CoA)
+		out = append(out, v.Code)
+		out = putTime(out, v.Lifetime)
+		return binary.BigEndian.AppendUint64(out, v.ID), nil
+	default:
+		return nil, fmt.Errorf("mip4: cannot encode %T", m)
+	}
+}
+
+// Decode parses a message produced by Encode.
+func Decode(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, ErrTruncated
+	}
+	body := data[1:]
+	var err error
+	switch wireKind(data[0]) {
+	case kindAgentAdvertisement:
+		var m AgentAdvertisement
+		if m.Agent, body, err = getAddr(body); err != nil {
+			return nil, err
+		}
+		if m.CoA, body, err = getAddr(body); err != nil {
+			return nil, err
+		}
+		if m.Home, body, err = getBool(body); err != nil {
+			return nil, err
+		}
+		if m.Foreign, body, err = getBool(body); err != nil {
+			return nil, err
+		}
+		if m.Lifetime, body, err = getTime(body); err != nil {
+			return nil, err
+		}
+		if len(body) < 2 {
+			return nil, ErrTruncated
+		}
+		m.Seq = binary.BigEndian.Uint16(body)
+		body = body[2:]
+		return &m, trailing(body)
+	case kindAgentSolicitation:
+		var m AgentSolicitation
+		if m.From, body, err = getAddr(body); err != nil {
+			return nil, err
+		}
+		return &m, trailing(body)
+	case kindRegistrationRequest:
+		var m RegistrationRequest
+		if m.Home, body, err = getAddr(body); err != nil {
+			return nil, err
+		}
+		if m.HomeAgent, body, err = getAddr(body); err != nil {
+			return nil, err
+		}
+		if m.CoA, body, err = getAddr(body); err != nil {
+			return nil, err
+		}
+		if m.MAC, body, err = getString(body); err != nil {
+			return nil, err
+		}
+		if m.Lifetime, body, err = getTime(body); err != nil {
+			return nil, err
+		}
+		if len(body) < 8 {
+			return nil, ErrTruncated
+		}
+		m.ID = binary.BigEndian.Uint64(body)
+		body = body[8:]
+		return &m, trailing(body)
+	case kindRegistrationReply:
+		var m RegistrationReply
+		if m.Home, body, err = getAddr(body); err != nil {
+			return nil, err
+		}
+		if m.CoA, body, err = getAddr(body); err != nil {
+			return nil, err
+		}
+		if len(body) < 1 {
+			return nil, ErrTruncated
+		}
+		m.Code = body[0]
+		body = body[1:]
+		if m.Lifetime, body, err = getTime(body); err != nil {
+			return nil, err
+		}
+		if len(body) < 8 {
+			return nil, ErrTruncated
+		}
+		m.ID = binary.BigEndian.Uint64(body)
+		body = body[8:]
+		return &m, trailing(body)
+	default:
+		return nil, fmt.Errorf("mip4: unknown message kind %d", data[0])
+	}
+}
+
+func trailing(body []byte) error {
+	if len(body) != 0 {
+		return fmt.Errorf("mip4: %d trailing bytes", len(body))
+	}
+	return nil
+}
+
+func putAddr(dst []byte, a inet.Addr) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(a.Net))
+	return binary.BigEndian.AppendUint32(dst, uint32(a.Host))
+}
+
+func getAddr(src []byte) (inet.Addr, []byte, error) {
+	if len(src) < 8 {
+		return inet.Addr{}, nil, ErrTruncated
+	}
+	a := inet.Addr{
+		Net:  inet.NetID(binary.BigEndian.Uint32(src)),
+		Host: inet.HostID(binary.BigEndian.Uint32(src[4:])),
+	}
+	return a, src[8:], nil
+}
+
+func putTime(dst []byte, t sim.Time) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(t))
+}
+
+func getTime(src []byte) (sim.Time, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return sim.Time(binary.BigEndian.Uint64(src)), src[8:], nil
+}
+
+func putBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func getBool(src []byte) (bool, []byte, error) {
+	if len(src) < 1 {
+		return false, nil, ErrTruncated
+	}
+	return src[0] != 0, src[1:], nil
+}
+
+func putString(dst []byte, s string) []byte {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...)
+}
+
+func getString(src []byte) (string, []byte, error) {
+	if len(src) < 1 {
+		return "", nil, ErrTruncated
+	}
+	n := int(src[0])
+	if len(src) < 1+n {
+		return "", nil, ErrTruncated
+	}
+	return string(src[1 : 1+n]), src[1+n:], nil
+}

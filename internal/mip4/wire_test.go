@@ -1,0 +1,100 @@
+package mip4
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+func a4(n, h uint32) inet.Addr { return inet.Addr{Net: inet.NetID(n), Host: inet.HostID(h)} }
+
+func sampleV4Messages() []any {
+	return []any{
+		&AgentAdvertisement{Agent: a4(71, 1), CoA: a4(71, 1), Foreign: true,
+			Lifetime: 120 * sim.Second, Seq: 7},
+		&AgentAdvertisement{Agent: a4(70, 1), Home: true, Lifetime: 60 * sim.Second},
+		&AgentSolicitation{From: a4(70, 5)},
+		&RegistrationRequest{Home: a4(70, 5), HomeAgent: a4(70, 1), CoA: a4(71, 1),
+			MAC: "mn-01", Lifetime: 60 * sim.Second, ID: 42},
+		&RegistrationRequest{Home: a4(70, 5), HomeAgent: a4(70, 1), ID: 43}, // deregistration
+		&RegistrationReply{Home: a4(70, 5), CoA: a4(71, 1), Code: RegistrationAccepted,
+			Lifetime: 60 * sim.Second, ID: 42},
+		&RegistrationReply{Home: a4(70, 5), Code: RegistrationDeniedFA, ID: 43},
+	}
+}
+
+func TestV4WireRoundTrip(t *testing.T) {
+	for _, m := range sampleV4Messages() {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", m, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip %T:\n got %+v\nwant %+v", m, got, m)
+		}
+	}
+}
+
+func TestV4WireRejectsTruncation(t *testing.T) {
+	for _, m := range sampleV4Messages() {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := Decode(data[:cut]); err == nil {
+				t.Errorf("%T truncated to %d bytes decoded", m, cut)
+			}
+		}
+	}
+}
+
+func TestV4WireRejectsTrailing(t *testing.T) {
+	data, err := Encode(&AgentSolicitation{From: a4(70, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(data, 0xAA)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestV4WireRejectsUnknown(t *testing.T) {
+	if _, err := Decode([]byte{0x7F, 1, 2}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Encode("not a message"); err == nil {
+		t.Fatal("foreign type encoded")
+	}
+}
+
+// FuzzV4Decode: the decoder must never panic, and every decodable input
+// must re-encode canonically.
+func FuzzV4Decode(f *testing.F) {
+	for _, m := range sampleV4Messages() {
+		data, _ := Encode(m)
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("canonical form does not decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// LinkConfig describes one duplex point-to-point link. The same parameters
+// apply to both directions.
+type LinkConfig struct {
+	// BandwidthBPS is the line rate in bits per second. Zero means
+	// infinitely fast (no serialization delay).
+	BandwidthBPS int64
+	// Delay is the one-way propagation delay.
+	Delay sim.Time
+	// QueueLimit is the droptail queue capacity in packets (not counting
+	// the packet in transmission). Zero selects DefaultQueueLimit.
+	QueueLimit int
+	// QueueLimitBytes additionally bounds the queue in bytes (ns-2-style
+	// byte-mode queues). Zero means no byte bound.
+	QueueLimitBytes int
+}
+
+// DefaultQueueLimit is the droptail capacity used when LinkConfig leaves
+// QueueLimit zero. It is large enough that the wired links in the thesis
+// topology never tail-drop; the interesting buffering happens in the
+// handover buffers, not the link queues.
+const DefaultQueueLimit = 1000
+
+// Link is a duplex point-to-point link between two nodes.
+type Link struct {
+	cfg LinkConfig
+	a   *Iface
+	b   *Iface
+}
+
+// Config returns the link parameters.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// A returns the interface on the first node passed to Connect.
+func (l *Link) A() *Iface { return l.a }
+
+// B returns the interface on the second node passed to Connect.
+func (l *Link) B() *Iface { return l.b }
+
+// Iface is one endpoint of a duplex link. It owns the droptail transmit
+// queue for its direction.
+type Iface struct {
+	engine *sim.Engine
+	node   Node
+	peer   *Iface
+	link   *Link
+
+	queue       []*inet.Packet
+	queuedBytes int
+	busy        bool
+	sent        uint64
+	dropped     uint64
+	delivers    uint64
+
+	// DropHook, if set, observes every tail drop on this interface.
+	DropHook func(pkt *inet.Packet)
+	// Impair, if set, is consulted before each transmission; returning
+	// true silently discards the packet. Used for failure injection in
+	// tests and robustness experiments.
+	Impair func(pkt *inet.Packet) bool
+}
+
+// Node returns the node this interface belongs to.
+func (i *Iface) Node() Node { return i.node }
+
+// Peer returns the node on the far end of the link.
+func (i *Iface) Peer() Node { return i.peer.node }
+
+// PeerIface returns the interface on the far end of the link.
+func (i *Iface) PeerIface() *Iface { return i.peer }
+
+// Link returns the link this interface belongs to.
+func (i *Iface) Link() *Link { return i.link }
+
+// Sent returns the number of packets fully transmitted.
+func (i *Iface) Sent() uint64 { return i.sent }
+
+// Dropped returns the number of tail-dropped packets.
+func (i *Iface) Dropped() uint64 { return i.dropped }
+
+// QueueLen returns the number of packets waiting behind the one in
+// transmission.
+func (i *Iface) QueueLen() int { return len(i.queue) }
+
+// QueueBytes returns the bytes waiting behind the one in transmission.
+func (i *Iface) QueueBytes() int { return i.queuedBytes }
+
+// String identifies the interface as "node->peer".
+func (i *Iface) String() string {
+	return fmt.Sprintf("%s->%s", i.node.Name(), i.peer.node.Name())
+}
+
+// Send queues pkt for transmission toward the peer. If the transmitter is
+// idle the packet starts serializing immediately; otherwise it joins the
+// droptail queue and is dropped if the queue is full.
+func (i *Iface) Send(pkt *inet.Packet) {
+	if pkt == nil {
+		panic("netsim: Send(nil)")
+	}
+	if i.Impair != nil && i.Impair(pkt) {
+		return
+	}
+	if i.busy {
+		limit := i.link.cfg.QueueLimit
+		if limit == 0 {
+			limit = DefaultQueueLimit
+		}
+		byteLimit := i.link.cfg.QueueLimitBytes
+		if len(i.queue) >= limit || (byteLimit > 0 && i.queuedBytes+pkt.Size > byteLimit) {
+			i.dropped++
+			if i.DropHook != nil {
+				i.DropHook(pkt)
+			}
+			return
+		}
+		i.queue = append(i.queue, pkt)
+		i.queuedBytes += pkt.Size
+		return
+	}
+	i.transmit(pkt)
+}
+
+// transmit serializes pkt onto the wire and schedules its delivery.
+func (i *Iface) transmit(pkt *inet.Packet) {
+	i.busy = true
+	var txTime sim.Time
+	if bps := i.link.cfg.BandwidthBPS; bps > 0 {
+		txTime = sim.Time(int64(pkt.Size) * 8 * int64(sim.Second) / bps)
+	}
+	// Transmission completes after the serialization time; the packet
+	// arrives one propagation delay later.
+	i.engine.Schedule(txTime, func() {
+		i.sent++
+		i.engine.Schedule(i.link.cfg.Delay, func() {
+			i.peer.delivers++
+			i.peer.node.HandlePacket(i.peer, pkt)
+		})
+		if len(i.queue) > 0 {
+			next := i.queue[0]
+			copy(i.queue, i.queue[1:])
+			i.queue = i.queue[:len(i.queue)-1]
+			i.queuedBytes -= next.Size
+			i.busy = false
+			i.transmit(next)
+		} else {
+			i.busy = false
+		}
+	})
+}
+
+// Connect creates a duplex link between two nodes and returns it. Nodes
+// that implement the internal attachIface hook (hosts, routers) are told
+// about their new interface.
+func Connect(engine *sim.Engine, a, b Node, cfg LinkConfig) *Link {
+	if engine == nil {
+		panic("netsim: Connect with nil engine")
+	}
+	l := &Link{cfg: cfg}
+	l.a = &Iface{engine: engine, node: a, link: l}
+	l.b = &Iface{engine: engine, node: b, link: l}
+	l.a.peer = l.b
+	l.b.peer = l.a
+	if at, ok := a.(IfaceAttacher); ok {
+		at.AttachIface(l.a)
+	}
+	if bt, ok := b.(IfaceAttacher); ok {
+		bt.AttachIface(l.b)
+	}
+	return l
+}

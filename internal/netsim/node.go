@@ -1,0 +1,82 @@
+// Package netsim models the wired part of the network: nodes, duplex
+// point-to-point links with bandwidth, propagation delay and droptail
+// queues, a generic router with prefix/host routes and tunnel endpoints,
+// and a topology builder that computes static shortest-path routes.
+package netsim
+
+import (
+	"repro/internal/inet"
+)
+
+// Node is anything that can terminate a link.
+type Node interface {
+	// Name returns a human-readable identifier used in traces.
+	Name() string
+	// HandlePacket is invoked by the engine when a packet arrives on one
+	// of the node's interfaces.
+	HandlePacket(in *Iface, pkt *inet.Packet)
+}
+
+// Host is a simple end system with a single wired interface. The
+// correspondent node in every experiment is a Host.
+type Host struct {
+	name string
+	addr inet.Addr
+	ifc  *Iface
+
+	// Receive is the upper-layer delivery callback. A nil Receive
+	// silently discards (the packet reached its destination but no
+	// application is listening).
+	Receive func(pkt *inet.Packet)
+}
+
+// NewHost creates a host with the given name and address. Its interface is
+// assigned when a link is attached.
+func NewHost(name string, addr inet.Addr) *Host {
+	return &Host{name: name, addr: addr}
+}
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's address.
+func (h *Host) Addr() inet.Addr { return h.addr }
+
+// Iface returns the host's single interface (nil until linked).
+func (h *Host) Iface() *Iface { return h.ifc }
+
+// HandlePacket implements Node: packets addressed to the host go to the
+// upper layer unchanged — tunnel packets included, since a mobile host may
+// own the inner destination (its RCoA or home address) under a different
+// care-of address. Everything else is discarded; hosts do not forward.
+func (h *Host) HandlePacket(in *Iface, pkt *inet.Packet) {
+	if pkt.Dst != h.addr {
+		return
+	}
+	if h.Receive != nil {
+		h.Receive(pkt)
+	}
+}
+
+// Send transmits a packet on the host's interface.
+func (h *Host) Send(pkt *inet.Packet) {
+	if h.ifc == nil {
+		panic("netsim: host " + h.name + " has no link")
+	}
+	h.ifc.Send(pkt)
+}
+
+// AttachIface records the interface created when a link is connected. It
+// implements IfaceAttacher; hosts accept exactly one link.
+func (h *Host) AttachIface(ifc *Iface) {
+	if h.ifc != nil {
+		panic("netsim: host " + h.name + " already linked")
+	}
+	h.ifc = ifc
+}
+
+// IfaceAttacher is implemented by node types that want to be told about new
+// interfaces when links are created; Connect invokes it on both endpoints.
+type IfaceAttacher interface {
+	AttachIface(*Iface)
+}

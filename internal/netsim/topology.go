@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// Topology owns the node and link inventory of a simulation and computes
+// static shortest-path routes, playing the role of ns-2's scenario setup.
+type Topology struct {
+	engine *sim.Engine
+	nodes  []Node
+	links  []*Link
+	owners map[inet.NetID]Node
+
+	nextPktID  uint64
+	nextFlowID inet.FlowID
+}
+
+// NewTopology creates an empty topology bound to an engine.
+func NewTopology(engine *sim.Engine) *Topology {
+	if engine == nil {
+		panic("netsim: NewTopology with nil engine")
+	}
+	return &Topology{
+		engine: engine,
+		owners: make(map[inet.NetID]Node),
+	}
+}
+
+// Engine returns the simulation engine.
+func (t *Topology) Engine() *sim.Engine { return t.engine }
+
+// AddNode registers a node. Registration is idempotent.
+func (t *Topology) AddNode(n Node) {
+	for _, existing := range t.nodes {
+		if existing == n {
+			return
+		}
+	}
+	t.nodes = append(t.nodes, n)
+}
+
+// Nodes returns the registered nodes in insertion order.
+func (t *Topology) Nodes() []Node { return t.nodes }
+
+// Connect links two nodes (registering them if needed) and records the link
+// for route computation.
+func (t *Topology) Connect(a, b Node, cfg LinkConfig) *Link {
+	t.AddNode(a)
+	t.AddNode(b)
+	l := Connect(t.engine, a, b, cfg)
+	t.links = append(t.links, l)
+	return l
+}
+
+// Links returns all links in creation order.
+func (t *Topology) Links() []*Link { return t.links }
+
+// ClaimNet declares that the given node terminates a network: shortest-path
+// routes for the network's prefix lead to that node.
+func (t *Topology) ClaimNet(n inet.NetID, owner Node) {
+	t.AddNode(owner)
+	t.owners[n] = owner
+}
+
+// NetOwner returns the node that terminates a network, or nil.
+func (t *Topology) NetOwner(n inet.NetID) Node { return t.owners[n] }
+
+// NewPacketID returns a run-unique packet identifier.
+func (t *Topology) NewPacketID() uint64 {
+	t.nextPktID++
+	return t.nextPktID
+}
+
+// NewFlowID returns a run-unique flow identifier (starting at 1).
+func (t *Topology) NewFlowID() inet.FlowID {
+	t.nextFlowID++
+	return t.nextFlowID
+}
+
+// ComputeRoutes fills every router's prefix-routing table with the first
+// hop of the minimum-delay path to each claimed network's owner. It must be
+// called after all links are connected and networks claimed, and may be
+// called again after topology changes.
+func (t *Topology) ComputeRoutes() error {
+	adj := t.adjacency()
+	for _, n := range t.nodes {
+		r, ok := n.(*Router)
+		if !ok {
+			continue
+		}
+		dist, firstHop := t.dijkstra(r, adj)
+		for netID, owner := range t.owners {
+			if owner == Node(r) {
+				continue // locally terminated network; delivery is custom
+			}
+			hop, ok := firstHop[owner]
+			if !ok {
+				if _, reachable := dist[owner]; !reachable {
+					return fmt.Errorf("netsim: no path from %s to owner of net %d (%s)",
+						r.Name(), netID, owner.Name())
+				}
+				continue
+			}
+			r.AddPrefixRoute(netID, hop)
+		}
+	}
+	return nil
+}
+
+// adjacency maps each node to its link endpoints.
+func (t *Topology) adjacency() map[Node][]*Iface {
+	adj := make(map[Node][]*Iface, len(t.nodes))
+	for _, l := range t.links {
+		adj[l.a.node] = append(adj[l.a.node], l.a)
+		adj[l.b.node] = append(adj[l.b.node], l.b)
+	}
+	return adj
+}
+
+// dijkstra computes minimum-delay distances from src and the first-hop
+// interface (out of src) on the shortest path to every reachable node. Ties
+// are broken deterministically by node name.
+func (t *Topology) dijkstra(src Node, adj map[Node][]*Iface) (map[Node]sim.Time, map[Node]*Iface) {
+	const hopCost = sim.Time(1) // keeps zero-delay links from creating ties
+	dist := map[Node]sim.Time{src: 0}
+	firstHop := make(map[Node]*Iface)
+	visited := make(map[Node]bool)
+
+	for {
+		// Select the unvisited node with the smallest distance
+		// (deterministic tie-break on name).
+		var cur Node
+		best := sim.MaxTime
+		candidates := make([]Node, 0, len(dist))
+		for n := range dist {
+			if !visited[n] {
+				candidates = append(candidates, n)
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].Name() < candidates[j].Name() })
+		for _, n := range candidates {
+			if dist[n] < best {
+				best = dist[n]
+				cur = n
+			}
+		}
+		if cur == nil {
+			break
+		}
+		visited[cur] = true
+		for _, ifc := range adj[cur] {
+			next := ifc.peer.node
+			nd := dist[cur] + ifc.link.cfg.Delay + hopCost
+			old, seen := dist[next]
+			if !seen || nd < old {
+				dist[next] = nd
+				if cur == src {
+					firstHop[next] = ifc
+				} else {
+					firstHop[next] = firstHop[cur]
+				}
+			}
+		}
+	}
+	return dist, firstHop
+}

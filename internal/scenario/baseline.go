@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/inet"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// BaselineRow is one mobility-management configuration's handoff cost.
+type BaselineRow struct {
+	Name string
+	// Lost is the packet loss across one handoff.
+	Lost uint64
+	// Outage is the longest delivery gap around the handoff.
+	Outage sim.Time
+}
+
+// BaselineResult compares the mobility ladder the thesis' Chapter 2
+// motivates: plain Mobile IP with a distant home agent, plain Mobile IP
+// anchored at a local MAP (Hierarchical Mobile IPv6), fast handover
+// without buffering, and the full enhanced scheme.
+type BaselineResult struct {
+	Rows []BaselineRow
+}
+
+// RunBaseline executes the ladder with one 64 kb/s flow per run, using
+// the default seed.
+func RunBaseline() BaselineResult { return RunBaselineSeed(1) }
+
+// RunBaselineSeed executes the ladder with the given beacon-phase seed.
+func RunBaselineSeed(seed int64) BaselineResult {
+	configs := []struct {
+		name   string
+		params Params
+	}{
+		{"plain Mobile IP, home agent 50 ms away", Params{
+			Scheme:         core.SchemeFHNoBuffer,
+			Mobility:       core.MobilityPlainMIP,
+			HomeAgentDelay: 50 * sim.Millisecond,
+		}},
+		{"plain Mobile IP, anchored at the MAP (HMIPv6)", Params{
+			Scheme:   core.SchemeFHNoBuffer,
+			Mobility: core.MobilityPlainMIP,
+		}},
+		{"fast handover, no buffering", Params{
+			Scheme: core.SchemeFHNoBuffer,
+		}},
+		{"fast handover + enhanced buffer management", Params{
+			Scheme:        core.SchemeEnhanced,
+			PoolSize:      40,
+			Alpha:         2,
+			BufferRequest: 20,
+		}},
+	}
+	var res BaselineResult
+	for _, cfg := range configs {
+		cfg.params.Seed = seed
+		res.Rows = append(res.Rows, runBaselineOnce(cfg.name, cfg.params))
+	}
+	return res
+}
+
+func runBaselineOnce(name string, p Params) BaselineRow {
+	tb := NewTestbed(p)
+	unit := tb.AddMobileHost(wireless.Linear{Start: 50, Speed: MHSpeed}, []FlowSpec{
+		AudioFlow(inet.ClassHighPriority),
+	})
+	tb.StartTraffic()
+	if err := tb.Run(12 * sim.Second); err != nil {
+		panic(fmt.Sprintf("baseline: %v", err))
+	}
+	tb.StopTraffic()
+	if err := tb.Engine.Run(14 * sim.Second); err != nil {
+		panic(fmt.Sprintf("baseline drain: %v", err))
+	}
+	f := tb.Recorder.Flow(unit.Flows[0])
+	row := BaselineRow{Name: name, Lost: f.Lost()}
+	// The outage is the longest gap between consecutive deliveries.
+	var prev sim.Time
+	for i, s := range f.Delays {
+		if i > 0 && s.At-prev > row.Outage {
+			row.Outage = s.At - prev
+		}
+		prev = s.At
+	}
+	return row
+}
+
+// Render prints the ladder.
+func (r BaselineResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Handoff cost across the mobility-management ladder (one 64 kb/s flow)\n\n")
+	fmt.Fprintf(&b, "%-50s%8s%12s\n", "configuration", "lost", "outage")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-50s%8d%11.0fms\n", row.Name, row.Lost, row.Outage.Milliseconds())
+	}
+	return b.String()
+}

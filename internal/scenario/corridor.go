@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/inet"
+	"repro/internal/mip"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/wireless"
+)
+
+// CorridorParams configures an N-router corridor: access routers in a row
+// with the reference geometry (212 m spacing, 112 m radius), each with one
+// access point, all children of one MAP, with direct links between
+// neighbours. The thesis evaluates a single PAR→NAR pair; the corridor
+// shows the protocol generalizes to any chain of routers — every hop
+// re-casts the roles.
+type CorridorParams struct {
+	// Routers is the number of access routers (≥ 2).
+	Routers int
+	// Scheme, PoolSize, Alpha, BufferRequest as in Params.
+	Scheme        core.Scheme
+	PoolSize      int
+	Alpha         int
+	BufferRequest int
+	// L2HandoffDelay and RAInterval as in Params.
+	L2HandoffDelay sim.Time
+	RAInterval     sim.Time
+	Seed           int64
+}
+
+func (p *CorridorParams) applyDefaults() {
+	if p.Routers < 2 {
+		p.Routers = 4
+	}
+	if p.Scheme == 0 {
+		p.Scheme = core.SchemeEnhanced
+	}
+	if p.L2HandoffDelay == 0 {
+		p.L2HandoffDelay = 200 * sim.Millisecond
+	}
+	if p.RAInterval == 0 {
+		p.RAInterval = 500 * sim.Millisecond
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// corridorNetBase is the first access-router prefix; router i serves
+// corridorNetBase+i.
+const corridorNetBase inet.NetID = 100
+
+// Corridor is the assembled multi-router topology.
+type Corridor struct {
+	Params   CorridorParams
+	Engine   *sim.Engine
+	Topo     *netsim.Topology
+	Medium   *wireless.Medium
+	Recorder *stats.Recorder
+
+	CN   *netsim.Host
+	MAP  *mip.Agent
+	ARs  []*core.AccessRouter
+	APs  []*wireless.AccessPoint
+	MH   *core.MobileHost
+	Flow inet.FlowID
+
+	source *traffic.CBR
+}
+
+// NewCorridor assembles the corridor with one mobile host walking it end
+// to end, carrying one CBR flow of the given spec.
+func NewCorridor(p CorridorParams, flow FlowSpec) *Corridor {
+	p.applyDefaults()
+	engine := sim.NewEngine()
+	topo := netsim.NewTopology(engine)
+	medium := wireless.NewMedium(engine)
+	rng := sim.NewRNG(p.Seed)
+	recorder := stats.NewRecorder()
+
+	cn := netsim.NewHost("cn", inet.Addr{Net: NetCN, Host: 1})
+	mapRouter := netsim.NewRouter("map", inet.Addr{Net: NetMAP, Host: 1})
+	topo.Connect(cn, mapRouter, netsim.LinkConfig{BandwidthBPS: coreBandwidth, Delay: 2 * sim.Millisecond})
+	topo.ClaimNet(NetCN, cn)
+	topo.ClaimNet(NetMAP, mapRouter)
+
+	dir := core.NewDirectory()
+	arCfg := core.ARConfig{
+		Scheme:   p.Scheme,
+		PoolSize: p.PoolSize,
+		Alpha:    p.Alpha,
+	}
+
+	c := &Corridor{
+		Params:   p,
+		Engine:   engine,
+		Topo:     topo,
+		Medium:   medium,
+		Recorder: recorder,
+		CN:       cn,
+	}
+
+	routers := make([]*netsim.Router, p.Routers)
+	apLinks := make([]*netsim.Link, p.Routers)
+	var neighbour []*netsim.Link
+	for i := 0; i < p.Routers; i++ {
+		net := corridorNetBase + inet.NetID(i)
+		routers[i] = netsim.NewRouter(fmt.Sprintf("ar%d", i), inet.Addr{Net: net, Host: 1})
+		topo.Connect(mapRouter, routers[i], netsim.LinkConfig{BandwidthBPS: arBandwidth, Delay: 2 * sim.Millisecond})
+		topo.ClaimNet(net, routers[i])
+		if i > 0 {
+			neighbour = append(neighbour, topo.Connect(routers[i-1], routers[i],
+				netsim.LinkConfig{BandwidthBPS: arBandwidth, Delay: 2 * sim.Millisecond}))
+		}
+		ap := wireless.NewAccessPoint(fmt.Sprintf("ap%d", i), medium, wireless.APConfig{
+			Pos: float64(i) * APDistance, Radius: APRadius,
+			BandwidthBPS: airBandwidth, AirDelay: sim.Millisecond,
+			ReturnUndeliverable: true,
+		})
+		apLinks[i] = topo.Connect(routers[i], ap, netsim.LinkConfig{BandwidthBPS: apBandwidth, Delay: sim.Millisecond / 2})
+		c.APs = append(c.APs, ap)
+	}
+	if err := topo.ComputeRoutes(); err != nil {
+		panic(fmt.Sprintf("corridor: route computation failed: %v", err))
+	}
+	// Pin neighbour traffic to the direct links (as in the reference
+	// testbed).
+	for i, l := range neighbour {
+		routers[i].AddPrefixRoute(corridorNetBase+inet.NetID(i+1), l.A())
+		routers[i+1].AddPrefixRoute(corridorNetBase+inet.NetID(i), l.B())
+	}
+
+	agent := mip.NewAgent(engine, mapRouter, mip.AgentConfig{ManagedNet: NetMAP})
+	c.MAP = agent
+
+	for i, r := range routers {
+		ar := core.NewAccessRouter(engine, r, corridorNetBase+inet.NetID(i), dir, arCfg)
+		ar.AddAP(c.APs[i].Name(), apLinks[i].A())
+		ar.OnDrop = func(pkt *inet.Packet, where string) { recorder.Dropped(pkt, where) }
+		c.ARs = append(c.ARs, ar)
+		c.APs[i].AirDropHook = func(pkt *inet.Packet) {
+			if pkt.Innermost().Proto != inet.ProtoControl {
+				recorder.Dropped(pkt, DropOnAir)
+			}
+		}
+		c.APs[i].StartAdvertising(wireless.Advertisement{Router: r.Addr(), Net: corridorNetBase + inet.NetID(i)},
+			p.RAInterval, rng.Uniform(0, p.RAInterval))
+	}
+
+	// The mobile host walks from inside the first cell past the last one.
+	station := wireless.NewStation("mh", medium, wireless.Linear{Start: 50, Speed: MHSpeed},
+		wireless.StationConfig{
+			BandwidthBPS:   airBandwidth,
+			AirDelay:       sim.Millisecond,
+			L2HandoffDelay: p.L2HandoffDelay,
+		})
+	rcoa := inet.Addr{Net: NetMAP, Host: 1000}
+	mh := core.NewMobileHost(engine, station, rcoa, agent.Router().Addr(), core.MHConfig{
+		HostID:        10,
+		Scheme:        p.Scheme,
+		BufferRequest: p.BufferRequest,
+	})
+	mh.Attach(c.APs[0], c.ARs[0].Addr(), corridorNetBase)
+	c.ARs[0].AttachResident(mh.LCoA(), apLinks[0].A())
+	agent.Register(rcoa, mh.LCoA(), 3600*sim.Second)
+	mh.StartRegistration()
+	mh.OnDeliver = traffic.Sink(engine, recorder)
+	c.MH = mh
+
+	c.Flow = topo.NewFlowID()
+	c.source = traffic.NewCBR(engine, traffic.CBRConfig{
+		Flow:     c.Flow,
+		Class:    flow.Class,
+		Src:      cn.Addr(),
+		Dst:      rcoa,
+		Size:     flow.Size,
+		Interval: flow.Interval,
+	}, cn.Send, topo.NewPacketID, recorder)
+
+	return c
+}
+
+// WalkDuration is how long the host walks: from its start (50 m into the
+// first cell) to 60 m past the last access point — well inside the final
+// cell (coverage extends 112 m), so the run ends with the host still
+// covered.
+func (c *Corridor) WalkDuration() sim.Time {
+	meters := float64(c.Params.Routers-1)*APDistance + 10
+	return sim.Time(meters / MHSpeed * float64(sim.Second))
+}
+
+// Run walks the host down the whole corridor with traffic flowing, then
+// drains.
+func (c *Corridor) Run() error {
+	c.source.Start(0)
+	if err := c.Engine.Run(c.WalkDuration()); err != nil {
+		return err
+	}
+	c.source.Stop()
+	return c.Engine.Run(c.WalkDuration() + 2*sim.Second)
+}

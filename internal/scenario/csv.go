@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSVWriter is implemented by experiment results that can emit their
+// figure's data points as CSV, for plotting outside this repository.
+type CSVWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa[T ~uint64 | ~int | ~int64](v T) string { return strconv.FormatInt(int64(v), 10) }
+
+// WriteCSV emits hosts × scheme drop counts (Figure 4.2).
+func (r Fig42Result) WriteCSV(w io.Writer) error {
+	header := []string{"hosts"}
+	for _, sc := range Fig42Schemes {
+		header = append(header, sc.Label)
+	}
+	var rows [][]string
+	for n := 1; n <= r.Params.MaxHosts; n++ {
+		row := []string{itoa(n)}
+		for _, sc := range Fig42Schemes {
+			row = append(row, itoa(r.Drops[sc.Label][n-1]))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits cumulative per-class drops per handoff (Figures 4.3–4.5).
+func (r DropTraceResult) WriteCSV(w io.Writer) error {
+	header := []string{"handoff", "f1_realtime", "f2_highpriority", "f3_besteffort"}
+	var rows [][]string
+	for i := 0; i < r.Handoffs(); i++ {
+		rows = append(rows, []string{
+			itoa(i + 1),
+			itoa(r.Cumulative[0][i]), itoa(r.Cumulative[1][i]), itoa(r.Cumulative[2][i]),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits per-rate per-class losses (Figure 4.6).
+func (r Fig46Result) WriteCSV(w io.Writer) error {
+	header := []string{"rate_kbps", "f1_realtime", "f2_highpriority", "f3_besteffort"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			strconv.FormatFloat(row.RateKbps, 'f', 1, 64),
+			itoa(row.Lost[0]), itoa(row.Lost[1]), itoa(row.Lost[2]),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits (seq, per-class delay in ms) samples (Figures 4.7–4.10).
+func (r DelayTraceResult) WriteCSV(w io.Writer) error {
+	header := []string{"seq", "f1_delay_ms", "f2_delay_ms", "f3_delay_ms"}
+	type row struct{ d [3]float64 }
+	rows := make(map[uint32]*row)
+	var seqs []uint32
+	for k := range r.Samples {
+		for _, s := range r.Samples[k] {
+			rw, ok := rows[s.Seq]
+			if !ok {
+				rw = &row{}
+				rows[s.Seq] = rw
+				seqs = append(seqs, s.Seq)
+			}
+			rw.d[k] = s.Delay.Milliseconds()
+		}
+	}
+	// seqs arrive in per-flow delivery order; sort ascending.
+	for i := 1; i < len(seqs); i++ {
+		for j := i; j > 0 && seqs[j] < seqs[j-1]; j-- {
+			seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
+		}
+	}
+	var out [][]string
+	for _, seq := range seqs {
+		rw := rows[seq]
+		out = append(out, []string{
+			itoa(int(seq)),
+			strconv.FormatFloat(rw.d[0], 'f', 3, 64),
+			strconv.FormatFloat(rw.d[1], 'f', 3, 64),
+			strconv.FormatFloat(rw.d[2], 'f', 3, 64),
+		})
+	}
+	return writeCSV(w, header, out)
+}
+
+// WriteCSV emits the (time, recv seq) trace (Figures 4.12–4.13).
+func (r TCPTraceResult) WriteCSV(w io.Writer) error {
+	header := []string{"t_s", "recv_seq", "ack_seq"}
+	var rows [][]string
+	for _, s := range r.Recv {
+		rows = append(rows, []string{
+			strconv.FormatFloat(s.At.Seconds(), 'f', 6, 64),
+			itoa(s.Seq),
+			itoa(ackAtOrBefore(r.Ack, s.At)),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits both goodput curves (Figure 4.14).
+func (r Fig414Result) WriteCSV(w io.Writer) error {
+	header := []string{"t_s", "buffered_mbps", "unbuffered_mbps"}
+	buf, unbuf := r.Buffered.Goodput, r.Unbuffered.Goodput
+	n := len(buf)
+	if len(unbuf) > n {
+		n = len(unbuf)
+	}
+	var rows [][]string
+	for i := 0; i < n; i++ {
+		var t float64
+		var b, u float64
+		if i < len(buf) {
+			t = buf[i].At.Seconds()
+			b = buf[i].Value / 1e6
+		}
+		if i < len(unbuf) {
+			t = unbuf[i].At.Seconds()
+			u = unbuf[i].Value / 1e6
+		}
+		rows = append(rows, []string{
+			strconv.FormatFloat(t, 'f', 1, 64),
+			strconv.FormatFloat(b, 'f', 3, 64),
+			strconv.FormatFloat(u, 'f', 3, 64),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the mobility-ladder table.
+func (r BaselineResult) WriteCSV(w io.Writer) error {
+	header := []string{"configuration", "lost", "outage_ms"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			itoa(row.Lost),
+			strconv.FormatFloat(row.Outage.Milliseconds(), 'f', 1, 64),
+		})
+	}
+	return writeCSV(w, header, rows)
+}

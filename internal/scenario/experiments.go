@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render() string
+}
+
+// Experiment binds a figure of the thesis to the code that regenerates it.
+type Experiment struct {
+	// ID is the figure number, e.g. "4.2".
+	ID string
+	// Title summarizes what the figure shows.
+	Title string
+	// Run executes the experiment and returns a renderable result.
+	Run func() Renderer
+}
+
+// Experiments lists every reproduced figure in thesis order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "4.2",
+			Title: "Buffer utilization of different handoff mechanisms",
+			Run:   func() Renderer { return RunFig42(Fig42Params{}) },
+		},
+		{
+			ID:    "4.3",
+			Title: "Packet drop rate, original fast handover (buffer=40)",
+			Run: func() Renderer {
+				return RunDropTrace(DropTraceParams{
+					Scheme: core.SchemeFHOriginal, PoolSize: 40, Handoffs: 100,
+				})
+			},
+		},
+		{
+			ID:    "4.4",
+			Title: "Packet drop rate, proposed method, classification disabled (buffer=20)",
+			Run: func() Renderer {
+				return RunDropTrace(DropTraceParams{
+					Scheme: core.SchemeDual, PoolSize: 20, Handoffs: 100,
+				})
+			},
+		},
+		{
+			ID:    "4.5",
+			Title: "Packet drop rate, proposed method, classification enabled (buffer=20)",
+			Run: func() Renderer {
+				return RunDropTrace(DropTraceParams{
+					Scheme: core.SchemeEnhanced, PoolSize: 20, Alpha: 6, Handoffs: 100,
+				})
+			},
+		},
+		{
+			ID:    "4.6",
+			Title: "Packet loss for different data rates, proposed method",
+			Run:   func() Renderer { return RunFig46(Fig46Params{}) },
+		},
+		{
+			ID:    "4.7",
+			Title: "End-to-end delay, original fast handover (buffer=40)",
+			Run: func() Renderer {
+				return RunDelayTrace(DelayTraceParams{
+					Scheme: core.SchemeFHOriginal, PoolSize: 40,
+				})
+			},
+		},
+		{
+			ID:    "4.8",
+			Title: "End-to-end delay, proposed method, classification disabled (buffer=20)",
+			Run: func() Renderer {
+				return RunDelayTrace(DelayTraceParams{
+					Scheme: core.SchemeDual, PoolSize: 20,
+				})
+			},
+		},
+		{
+			ID:    "4.9",
+			Title: "End-to-end delay, classification enabled, 2 ms AR link",
+			Run: func() Renderer {
+				return RunDelayTrace(DelayTraceParams{
+					Scheme: core.SchemeEnhanced, PoolSize: 60, Alpha: 2,
+					ARLinkDelay: 2 * sim.Millisecond,
+				})
+			},
+		},
+		{
+			ID:    "4.10",
+			Title: "End-to-end delay, classification enabled, 50 ms AR link",
+			Run: func() Renderer {
+				return RunDelayTrace(DelayTraceParams{
+					Scheme: core.SchemeEnhanced, PoolSize: 60, Alpha: 2,
+					ARLinkDelay: 50 * sim.Millisecond,
+				})
+			},
+		},
+		{
+			ID:    "4.12",
+			Title: "TCP sequence during a link-layer handoff, without buffering",
+			Run:   func() Renderer { return RunTCPTrace(TCPTraceParams{Buffered: false}) },
+		},
+		{
+			ID:    "4.13",
+			Title: "TCP sequence during a link-layer handoff, proposed method",
+			Run:   func() Renderer { return RunTCPTrace(TCPTraceParams{Buffered: true}) },
+		},
+		{
+			ID:    "4.14",
+			Title: "TCP throughput during a link-layer handoff",
+			Run:   func() Renderer { return RunFig414() },
+		},
+		{
+			ID:    "baseline",
+			Title: "Chapter 2 motivation: the mobility-management ladder",
+			Run:   func() Renderer { return RunBaseline() },
+		},
+		{
+			ID:    "latency",
+			Title: "Handover latency breakdown (reference [12] analysis style)",
+			Run:   func() Renderer { return RunLatencyBreakdown(10, 1) },
+		},
+	}
+}
+
+// Fig414Result pairs the buffered and unbuffered throughput series.
+type Fig414Result struct {
+	Buffered   TCPTraceResult
+	Unbuffered TCPTraceResult
+}
+
+// RunFig414 runs both Figure 4.14 curves.
+func RunFig414() Fig414Result {
+	return Fig414Result{
+		Buffered:   RunTCPTrace(TCPTraceParams{Buffered: true}),
+		Unbuffered: RunTCPTrace(TCPTraceParams{Buffered: false}),
+	}
+}
+
+// Render prints both curves side by side.
+func (r Fig414Result) Render() string {
+	return r.Buffered.RenderThroughput() + "\n" + r.Unbuffered.RenderThroughput()
+}

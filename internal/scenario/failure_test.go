@@ -1,0 +1,254 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fho"
+	"repro/internal/inet"
+	"repro/internal/mip"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// impairKinds drops the first n control messages of the given kinds
+// crossing the interface.
+func impairKinds(ifc *netsim.Iface, n int, kinds ...fho.Kind) *int {
+	dropped := 0
+	ifc.Impair = func(pkt *inet.Packet) bool {
+		if dropped >= n {
+			return false
+		}
+		for _, k := range kinds {
+			if msg, ok := pkt.Payload.(fho.Message); ok && msg.Kind() == k {
+				dropped++
+				return true
+			}
+		}
+		return false
+	}
+	return &dropped
+}
+
+// parToAPIface returns the PAR's interface toward its access point.
+func parToAPIface(tb *Testbed) *netsim.Iface {
+	for _, ifc := range tb.PAR.Router().Ifaces() {
+		if ifc.Peer() == netsim.Node(tb.APPAR) {
+			return ifc
+		}
+	}
+	return nil
+}
+
+func TestLostPrRtAdvFallsBackToUnanticipated(t *testing.T) {
+	tb := NewTestbed(Params{
+		Scheme:        core.SchemeEnhanced,
+		PoolSize:      40,
+		BufferRequest: 20,
+	})
+	unit := tb.AddMobileHost(wireless.Linear{Start: 50, Speed: MHSpeed}, []FlowSpec{
+		AudioFlow(inet.ClassHighPriority),
+	})
+	// Every PrRtAdv toward the host is lost: anticipation can never
+	// complete, so the host must eventually switch unanticipated once it
+	// leaves the old coverage.
+	dropped := impairKinds(parToAPIface(tb), 1000, fho.KindPrRtAdv)
+
+	tb.StartTraffic()
+	if err := tb.Run(16 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if *dropped == 0 {
+		t.Fatal("impairment never engaged")
+	}
+	recs := unit.MH.Handoffs()
+	if len(recs) != 1 {
+		t.Fatalf("handoffs = %d, want 1 (the unanticipated fallback)", len(recs))
+	}
+	if recs[0].Anticipated {
+		t.Error("handoff reported anticipated despite losing every PrRtAdv")
+	}
+	// Connectivity recovers after the binding update: packets flow again.
+	f := tb.Recorder.Flow(unit.Flows[0])
+	if f.Delivered == 0 || f.Lost() == 0 {
+		t.Errorf("unanticipated handoff stats implausible: delivered=%d lost=%d",
+			f.Delivered, f.Lost())
+	}
+	// And it loses more than an anticipated, buffered handoff would.
+	if f.Lost() < 5 {
+		t.Errorf("lost only %d packets; expected a blackout's worth without buffering", f.Lost())
+	}
+}
+
+func TestLostFBUStartTimeStartsRedirection(t *testing.T) {
+	// The FBU is lost, so redirection never starts explicitly. The BI's
+	// start time makes the PAR begin buffering on its own ("prevent the
+	// case when a mobile host moves too fast"). The BF from the release
+	// phase is also lost, so the session survives until its lifetime
+	// lapses and the buffered packets are dropped with the lifetime
+	// reason — exercising both timers.
+	tb := NewTestbed(Params{
+		Scheme:        core.SchemeEnhanced,
+		PoolSize:      40,
+		Alpha:         2,
+		BufferRequest: 20,
+	})
+	// Best effort buffers at the PAR (Case 1.c) — the buffer that the lost
+	// BF strands until the lifetime lapses. (High-priority packets would
+	// escape through the NAR's released session and be delivered.)
+	unit := tb.AddMobileHost(wireless.Linear{Start: 50, Speed: MHSpeed}, []FlowSpec{
+		AudioFlow(inet.ClassBestEffort),
+	})
+	// Drop the FBU (uplink through the PAR's AP), the BF relay (NAR→PAR),
+	// and the first binding update (NAR→MAP), so the MAP keeps tunnelling
+	// to the PCoA until the host's retransmission lands. Uplink control
+	// enters the AR via the AP's wired side.
+	apWired := parToAPIface(tb).PeerIface()
+	impairKinds(apWired, 1, fho.KindFBU)
+	for _, ifc := range tb.NAR.Router().Ifaces() {
+		switch ifc.Peer() {
+		case netsim.Node(tb.PAR.Router()):
+			impairKinds(ifc, 1, fho.KindBF)
+		case netsim.Node(tb.MAP.Router()):
+			buDropped := 0
+			ifc.Impair = func(pkt *inet.Packet) bool {
+				if buDropped == 0 {
+					if _, ok := pkt.Payload.(*mip.BindingUpdate); ok {
+						buDropped++
+						return true
+					}
+				}
+				return false
+			}
+		}
+	}
+
+	tb.StartTraffic()
+	if err := tb.Run(20 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tb.StopTraffic()
+	if err := tb.Engine.Run(22 * sim.Second); err != nil {
+		t.Fatalf("Run drain: %v", err)
+	}
+
+	if got := tb.Recorder.DropsAt(core.DropOnLifetime); got == 0 {
+		t.Error("no lifetime drops; the start-time/lifetime timers never engaged")
+	}
+	if tb.PAR.Sessions() != 0 {
+		t.Errorf("PAR sessions leaked: %d", tb.PAR.Sessions())
+	}
+	if tb.PAR.Pool().Reserved() != 0 || tb.NAR.Pool().Reserved() != 0 {
+		t.Errorf("reservations leaked: par=%d nar=%d",
+			tb.PAR.Pool().Reserved(), tb.NAR.Pool().Reserved())
+	}
+	// The handoff itself still completed (FNA got through).
+	if len(unit.MH.Handoffs()) != 1 {
+		t.Fatalf("handoffs = %d, want 1", len(unit.MH.Handoffs()))
+	}
+}
+
+func TestCancelHandoffReleasesEverything(t *testing.T) {
+	tb := NewTestbed(Params{
+		Scheme:        core.SchemeEnhanced,
+		PoolSize:      40,
+		BufferRequest: 20,
+	})
+	// Stationary host placed where the NAR's AP is strictly closer but the
+	// PAR's still covers it: a handoff triggers, then is cancelled.
+	unit := tb.AddMobileHost(wireless.Fixed(108), []FlowSpec{
+		AudioFlow(inet.ClassHighPriority),
+	})
+	// The host keeps deciding to move (the NAR's AP is closer) and a
+	// policy above keeps cancelling: every attempt must be cancelled
+	// before the 2 ms FBU guard elapses, or the switch happens.
+	cancels := 0
+	unit.MH.OnControl = func(kind fho.Kind) {
+		if kind == fho.KindFBU {
+			tb.Engine.Schedule(sim.Millisecond, func() {
+				if unit.MH.CancelHandoff() {
+					cancels++
+				}
+			})
+		}
+	}
+	tb.StartTraffic()
+	if err := tb.Run(10 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tb.StopTraffic()
+	// Silence the beacons so no further trigger/cancel cycles start, then
+	// let the last NAR-side reservation lapse with its lifetime.
+	tb.APPAR.StopAdvertising()
+	tb.APNAR.StopAdvertising()
+	if err := tb.Engine.Run(22 * sim.Second); err != nil {
+		t.Fatalf("Run drain: %v", err)
+	}
+
+	if cancels == 0 {
+		t.Fatal("no handoff was ever cancelled")
+	}
+	if got := len(unit.MH.Handoffs()); got != 0 {
+		t.Fatalf("handoffs completed = %d, want 0 after cancel", got)
+	}
+	// The host stayed put and its traffic survived, including anything
+	// briefly buffered at the PAR across the many trigger/cancel cycles.
+	f := tb.Recorder.Flow(unit.Flows[0])
+	if f.Lost() > uint64(cancels) {
+		t.Errorf("cancelled handoffs lost %d packets over %d cancels", f.Lost(), cancels)
+	}
+	if tb.PAR.Sessions() != 0 || tb.PAR.Pool().Reserved() != 0 {
+		t.Errorf("PAR state leaked: sessions=%d reserved=%d",
+			tb.PAR.Sessions(), tb.PAR.Pool().Reserved())
+	}
+	// The NAR's reservation lapses with its lifetime.
+	if tb.NAR.Pool().Reserved() != 0 {
+		t.Errorf("NAR reservation did not lapse: %d", tb.NAR.Pool().Reserved())
+	}
+}
+
+func TestCancelHandoffIdleIsNoop(t *testing.T) {
+	tb := NewTestbed(Params{Scheme: core.SchemeEnhanced, PoolSize: 40, BufferRequest: 20})
+	unit := tb.AddMobileHost(wireless.Fixed(10), nil)
+	if unit.MH.CancelHandoff() {
+		t.Fatal("CancelHandoff succeeded with no handover in progress")
+	}
+}
+
+func TestLostHAckTimesOutSolicitation(t *testing.T) {
+	tb := NewTestbed(Params{
+		Scheme:        core.SchemeEnhanced,
+		PoolSize:      40,
+		BufferRequest: 20,
+	})
+	unit := tb.AddMobileHost(wireless.Linear{Start: 50, Speed: MHSpeed}, []FlowSpec{
+		AudioFlow(inet.ClassHighPriority),
+	})
+	// Lose the first HAck (NAR→PAR): the first solicitation stalls, the
+	// host times out, and the next beacon retries successfully.
+	var narToPar *netsim.Iface
+	for _, ifc := range tb.NAR.Router().Ifaces() {
+		if ifc.Peer() == netsim.Node(tb.PAR.Router()) {
+			narToPar = ifc
+		}
+	}
+	dropped := impairKinds(narToPar, 1, fho.KindHAck)
+
+	tb.StartTraffic()
+	if err := tb.Run(16 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if *dropped != 1 {
+		t.Fatalf("HAck drops = %d, want 1", *dropped)
+	}
+	recs := unit.MH.Handoffs()
+	if len(recs) != 1 {
+		t.Fatalf("handoffs = %d, want 1 (retry after solicit timeout)", len(recs))
+	}
+	// Note: the PAR keeps the first session (keyed by PCoA), so the retry
+	// reuses it; whichever way, the handoff completes and state drains.
+	if !recs[0].Anticipated && tb.Recorder.Flow(unit.Flows[0]).Delivered == 0 {
+		t.Error("retried handoff did not restore connectivity")
+	}
+}

@@ -1,0 +1,10 @@
+package scenario
+
+import "repro/internal/fho"
+
+// Small helpers keeping the fho import out of every test body.
+func kindHI() fho.Kind         { return fho.KindHI }
+func kindHAck() fho.Kind       { return fho.KindHAck }
+func kindBF() fho.Kind         { return fho.KindBF }
+func kindPrRtAdv() fho.Kind    { return fho.KindPrRtAdv }
+func kindBufferFull() fho.Kind { return fho.KindBufferFull }

@@ -1,0 +1,215 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/inet"
+	"repro/internal/mip4"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/wireless"
+)
+
+// MIP4RoamParams configures the wireless Mobile IPv4 roaming scenario: the
+// thesis' Chapter 2 world end to end. Two foreign agents serve adjacent
+// wireless cells (the Figure 4.1 geometry), the home agent sits behind a
+// configurable backhaul, and the mobile node roams between the cells with
+// nothing but RFC 2002 machinery — agent advertisements, registration
+// relayed through the foreign agent, IP-in-IP tunnelling. Every handoff
+// costs the full blackout + detection + registration round trip, which is
+// the latency the rest of this repository exists to remove.
+type MIP4RoamParams struct {
+	// HomeAgentDelay is the one-way backhaul to the home agent (50 ms
+	// default: a distant home network).
+	HomeAgentDelay sim.Time
+	// L2HandoffDelay is the blackout (200 ms default).
+	L2HandoffDelay sim.Time
+	// AdvertisementInterval is the agent-advertisement beacon period
+	// (1 s default, the RFC 2002 recommendation the thesis quotes).
+	AdvertisementInterval sim.Time
+	Seed                  int64
+}
+
+func (p *MIP4RoamParams) applyDefaults() {
+	if p.HomeAgentDelay == 0 {
+		p.HomeAgentDelay = 50 * sim.Millisecond
+	}
+	if p.L2HandoffDelay == 0 {
+		p.L2HandoffDelay = 200 * sim.Millisecond
+	}
+	if p.AdvertisementInterval == 0 {
+		p.AdvertisementInterval = sim.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Network prefixes of the Mobile IPv4 roaming topology.
+const (
+	netMIP4Home inet.NetID = 80
+	netMIP4FA1  inet.NetID = 81
+	netMIP4FA2  inet.NetID = 82
+)
+
+// MIP4Roam is the assembled scenario.
+type MIP4Roam struct {
+	Params   MIP4RoamParams
+	Engine   *sim.Engine
+	Recorder *stats.Recorder
+
+	CN      *netsim.Host
+	HA      *mip4.HomeAgent
+	FA1     *mip4.ForeignAgent
+	FA2     *mip4.ForeignAgent
+	MN      *mip4.MobileNode
+	Station *wireless.Station
+	Flow    inet.FlowID
+
+	source        *traffic.CBR
+	registrations int
+}
+
+// NewMIP4Roam assembles the scenario with one 64 kb/s flow from the
+// correspondent node to the mobile node's home address.
+func NewMIP4Roam(p MIP4RoamParams) *MIP4Roam {
+	p.applyDefaults()
+	engine := sim.NewEngine()
+	topo := netsim.NewTopology(engine)
+	medium := wireless.NewMedium(engine)
+	rng := sim.NewRNG(p.Seed)
+	recorder := stats.NewRecorder()
+
+	cn := netsim.NewHost("cn", inet.Addr{Net: NetCN, Host: 1})
+	haRouter := netsim.NewRouter("ha", inet.Addr{Net: netMIP4Home, Host: 1})
+	fa1Router := netsim.NewRouter("fa1", inet.Addr{Net: netMIP4FA1, Host: 1})
+	fa2Router := netsim.NewRouter("fa2", inet.Addr{Net: netMIP4FA2, Host: 1})
+
+	topo.Connect(cn, haRouter, netsim.LinkConfig{BandwidthBPS: coreBandwidth, Delay: 2 * sim.Millisecond})
+	topo.Connect(haRouter, fa1Router, netsim.LinkConfig{BandwidthBPS: arBandwidth, Delay: p.HomeAgentDelay})
+	topo.Connect(haRouter, fa2Router, netsim.LinkConfig{BandwidthBPS: arBandwidth, Delay: p.HomeAgentDelay})
+
+	ap1 := wireless.NewAccessPoint("mip4-ap1", medium, wireless.APConfig{
+		Pos: 0, Radius: APRadius, BandwidthBPS: airBandwidth, AirDelay: sim.Millisecond,
+		ReturnUndeliverable: false, // plain Mobile IP has no buffering agent
+	})
+	ap2 := wireless.NewAccessPoint("mip4-ap2", medium, wireless.APConfig{
+		Pos: APDistance, Radius: APRadius, BandwidthBPS: airBandwidth, AirDelay: sim.Millisecond,
+	})
+	ap1Link := topo.Connect(fa1Router, ap1, netsim.LinkConfig{BandwidthBPS: apBandwidth, Delay: sim.Millisecond / 2})
+	ap2Link := topo.Connect(fa2Router, ap2, netsim.LinkConfig{BandwidthBPS: apBandwidth, Delay: sim.Millisecond / 2})
+
+	topo.ClaimNet(NetCN, cn)
+	topo.ClaimNet(netMIP4Home, haRouter)
+	topo.ClaimNet(netMIP4FA1, fa1Router)
+	topo.ClaimNet(netMIP4FA2, fa2Router)
+	if err := topo.ComputeRoutes(); err != nil {
+		panic(fmt.Sprintf("mip4 roam: route computation failed: %v", err))
+	}
+
+	ha := mip4.NewHomeAgent(engine, haRouter, netMIP4Home, 0)
+	fa1 := mip4.NewForeignAgent(engine, fa1Router, 300*sim.Second, 0)
+	fa2 := mip4.NewForeignAgent(engine, fa2Router, 300*sim.Second, 0)
+
+	home := inet.Addr{Net: netMIP4Home, Host: 5}
+	station := wireless.NewStation("mn", medium, wireless.PingPong{A: 20, B: 192, Speed: MHSpeed},
+		wireless.StationConfig{
+			BandwidthBPS:   airBandwidth,
+			AirDelay:       sim.Millisecond,
+			L2HandoffDelay: p.L2HandoffDelay,
+		})
+	station.AddAddr(home)
+
+	r := &MIP4Roam{
+		Params: p, Engine: engine, Recorder: recorder,
+		CN: cn, HA: ha, FA1: fa1, FA2: fa2, Station: station,
+	}
+
+	mn := mip4.NewMobileNode(engine, mip4.MobileNodeConfig{
+		Home:      home,
+		HomeAgent: haRouter.Addr(),
+		MAC:       "mn-01",
+	}, station.Send)
+	mn.OnRegistered = func(coa inet.Addr, lifetime sim.Time) { r.registrations++ }
+	r.MN = mn
+
+	// Wireless-side glue: the station's L2 behaviour is driven by the
+	// foreign agents' advertisements, carried as beacon payloads. Movement
+	// detection is RFC 2002 style: hearing a *new* agent while attached
+	// means "switch L2, then register through it".
+	faByAP := map[*wireless.AccessPoint]*mip4.ForeignAgent{ap1: fa1, ap2: fa2}
+	switching := false
+	station.OnRA = func(adv wireless.Advertisement) {
+		fa := faByAP[adv.AP]
+		if fa == nil || switching {
+			return
+		}
+		cur := station.AP()
+		if cur == adv.AP {
+			// Current cell's agent: hand the advertisement to the node
+			// (it renews by timer; new agents trigger registration).
+			mn.HandleAdvertisement(fa.Advertisement())
+			return
+		}
+		if cur != nil && cur.Covers(station.Pos(engine.Now())) &&
+			adv.AP.RSSI(station.Pos(engine.Now())) <= cur.RSSI(station.Pos(engine.Now())) {
+			return // not stronger; stay
+		}
+		switching = true
+		station.SwitchTo(adv.AP)
+	}
+	station.OnLinkUp = func(ap *wireless.AccessPoint) {
+		switching = false
+		if fa := faByAP[ap]; fa != nil {
+			mn.HandleAdvertisement(fa.Advertisement())
+		}
+	}
+	station.OnPacket = func(pkt *inet.Packet) {
+		inner := pkt.Innermost()
+		if reply, ok := inner.Payload.(*mip4.RegistrationReply); ok {
+			mn.HandleReply(reply)
+			return
+		}
+		if inner.Proto == inet.ProtoUDP {
+			recorder.Delivered(inner, engine.Now())
+		}
+	}
+	station.Associate(ap1)
+	fa1Router.AddHostRoute(home, ap1Link.A())
+	_ = ap2Link
+	mn.HandleAdvertisement(fa1.Advertisement())
+
+	// Agent advertisements ride the wireless beacons.
+	ap1.StartAdvertising(wireless.Advertisement{Router: fa1Router.Addr(), Net: netMIP4FA1},
+		p.AdvertisementInterval, rng.Uniform(0, p.AdvertisementInterval))
+	ap2.StartAdvertising(wireless.Advertisement{Router: fa2Router.Addr(), Net: netMIP4FA2},
+		p.AdvertisementInterval, rng.Uniform(0, p.AdvertisementInterval))
+
+	r.Flow = topo.NewFlowID()
+	r.source = traffic.NewCBR(engine, traffic.CBRConfig{
+		Flow:     r.Flow,
+		Class:    inet.ClassHighPriority,
+		Src:      cn.Addr(),
+		Dst:      home,
+		Size:     160,
+		Interval: 20 * sim.Millisecond,
+	}, cn.Send, topo.NewPacketID, recorder)
+
+	return r
+}
+
+// Registrations returns how many registrations (initial, handoffs,
+// renewals) completed.
+func (r *MIP4Roam) Registrations() int { return r.registrations }
+
+// Run streams traffic while the node roams, then drains.
+func (r *MIP4Roam) Run(until sim.Time) error {
+	r.source.Start(0)
+	if err := r.Engine.Run(until); err != nil {
+		return err
+	}
+	r.source.Stop()
+	return r.Engine.Run(until + 2*sim.Second)
+}

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMIP4RoamHandsOffAndRecovers(t *testing.T) {
+	r := NewMIP4Roam(MIP4RoamParams{})
+	// Two ping-pong legs: two inter-cell handoffs.
+	if err := r.Run(40 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	f := r.Recorder.Flow(r.Flow)
+	if f.Sent == 0 || f.Delivered == 0 {
+		t.Fatalf("no traffic flowed: %+v", f)
+	}
+	// Each plain-MIP handoff costs blackout + detection + HA registration
+	// (~0.3–1 s ≈ 15–50 packets at 50 p/s); two handoffs happened.
+	if f.Lost() < 20 {
+		t.Errorf("lost only %d packets; plain Mobile IP should bleed across handoffs", f.Lost())
+	}
+	if f.Lost() > 150 {
+		t.Errorf("lost %d packets; the node never recovered", f.Lost())
+	}
+	// Both foreign agents saw the visitor; the HA tunnelled throughout.
+	if r.Registrations() < 3 { // initial + ≥2 handoffs
+		t.Errorf("registrations = %d, want ≥3", r.Registrations())
+	}
+	if r.HA.Tunnelled() == 0 {
+		t.Error("home agent never tunnelled")
+	}
+	if r.FA1.Relayed() == 0 || r.FA2.Relayed() == 0 {
+		t.Errorf("relays: fa1=%d fa2=%d; both agents should have served the node",
+			r.FA1.Relayed(), r.FA2.Relayed())
+	}
+}
+
+func TestMIP4RoamBackhaulCost(t *testing.T) {
+	// A farther home agent makes every handoff outage longer: more loss.
+	lossAt := func(backhaul sim.Time) uint64 {
+		r := NewMIP4Roam(MIP4RoamParams{HomeAgentDelay: backhaul})
+		if err := r.Run(40 * sim.Second); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return r.Recorder.Flow(r.Flow).Lost()
+	}
+	near := lossAt(5 * sim.Millisecond)
+	far := lossAt(150 * sim.Millisecond)
+	if far <= near {
+		t.Errorf("far home agent lost %d ≤ near %d; registration latency unmodelled", far, near)
+	}
+}

@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fho"
+	"repro/internal/inet"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// CountControlMessages runs one anticipated handoff under the given scheme
+// and returns the total number of fast-handover control messages exchanged
+// (host and both routers). Because the buffer options piggyback on the
+// base protocol, the enhanced scheme costs only the BF relay beyond plain
+// fast handover (§3.3).
+func CountControlMessages(scheme core.Scheme) uint64 {
+	tb := NewTestbed(Params{
+		Scheme:        scheme,
+		PoolSize:      40,
+		BufferRequest: 20,
+	})
+	var total uint64
+	count := func(fho.Kind) { total++ }
+	tb.PAR.OnControl = count
+	tb.NAR.OnControl = count
+	unit := tb.AddMobileHost(wireless.Linear{Start: 50, Speed: MHSpeed}, []FlowSpec{
+		AudioFlow(inet.ClassHighPriority),
+	})
+	unit.MH.OnControl = count
+	tb.StartTraffic()
+	if err := tb.Run(12 * sim.Second); err != nil {
+		panic(fmt.Sprintf("signaling count: %v", err))
+	}
+	return total
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// SweepResult carries one headline metric's distribution across seeds.
+type SweepResult struct {
+	Metric  string
+	Summary stats.Summary
+}
+
+// SweepFig42 reruns the buffer-utilization experiment across seeds and
+// summarizes the loss-free capacities — the figure's headline claims with
+// confidence intervals instead of single numbers.
+func SweepFig42(seeds int, p Fig42Params) []SweepResult {
+	if seeds < 1 {
+		seeds = 1
+	}
+	metrics := []string{"NAR", "PAR", "DUAL"}
+	out := make([]SweepResult, len(metrics))
+	for i, m := range metrics {
+		out[i].Metric = m + " loss-free capacity"
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		p := p
+		p.Seed = seed
+		res := RunFig42(p)
+		for i, m := range metrics {
+			out[i].Summary.Add(float64(res.MaxLossFree(m)))
+		}
+	}
+	return out
+}
+
+// SweepBaseline reruns the mobility ladder across seeds, summarizing each
+// rung's loss.
+func SweepBaseline(seeds int) []SweepResult {
+	if seeds < 1 {
+		seeds = 1
+	}
+	var out []SweepResult
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		res := RunBaselineSeed(seed)
+		if out == nil {
+			out = make([]SweepResult, len(res.Rows))
+			for i, row := range res.Rows {
+				out[i].Metric = row.Name + " lost"
+			}
+		}
+		for i, row := range res.Rows {
+			out[i].Summary.Add(float64(row.Lost))
+		}
+	}
+	return out
+}
+
+// RenderSweep formats sweep results as mean ± stddev [min, max] rows.
+func RenderSweep(results []SweepResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-50s %6.2f ± %.2f  [%g, %g]  (n=%d)\n",
+			r.Metric, r.Summary.Mean(), r.Summary.StdDev(),
+			r.Summary.Min(), r.Summary.Max(), r.Summary.N())
+	}
+	return b.String()
+}

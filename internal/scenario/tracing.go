@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fho"
+	"repro/internal/inet"
+	"repro/internal/trace"
+)
+
+// AttachTrace subscribes a trace log to the testbed's protocol events:
+// control messages from both routers and every host, drops (with their
+// site), deliveries, link transitions, and handoff completions. Existing
+// hooks (the statistics recorder) keep working; the trace chains onto
+// them.
+func (tb *Testbed) AttachTrace(log *trace.Log) {
+	hookAR := func(name string, ar *core.AccessRouter) {
+		prevDrop := ar.OnDrop
+		ar.OnDrop = func(pkt *inet.Packet, where string) {
+			if prevDrop != nil {
+				prevDrop(pkt, where)
+			}
+			inner := pkt.Innermost()
+			log.Emit(trace.Event{
+				At: tb.Engine.Now(), Kind: trace.KindDrop, Node: name,
+				Seq:    int64(inner.Seq),
+				Detail: fmt.Sprintf("%s flow=%d class=%s (%s)", inner.Proto, inner.Flow, inner.Class, where),
+			})
+		}
+		prevCtl := ar.OnControl
+		ar.OnControl = func(kind fho.Kind) {
+			if prevCtl != nil {
+				prevCtl(kind)
+			}
+			log.Emit(trace.Event{
+				At: tb.Engine.Now(), Kind: trace.KindControl, Node: name,
+				Detail: "sends " + kind.String(),
+			})
+		}
+	}
+	hookAR("par", tb.PAR)
+	hookAR("nar", tb.NAR)
+
+	for i, unit := range tb.MHs {
+		name := fmt.Sprintf("mh%d", i)
+		unit := unit
+		prevCtl := unit.MH.OnControl
+		unit.MH.OnControl = func(kind fho.Kind) {
+			if prevCtl != nil {
+				prevCtl(kind)
+			}
+			log.Emit(trace.Event{
+				At: tb.Engine.Now(), Kind: trace.KindControl, Node: name,
+				Detail: "sends " + kind.String(),
+			})
+		}
+		prevDone := unit.MH.OnHandoffDone
+		unit.MH.OnHandoffDone = func(rec core.HandoffRecord) {
+			if prevDone != nil {
+				prevDone(rec)
+			}
+			log.Emit(trace.Event{
+				At: rec.Detached, Kind: trace.KindLinkDown, Node: name,
+				Detail: "L2 blackout begins",
+			})
+			log.Emit(trace.Event{
+				At: rec.Attached, Kind: trace.KindLinkUp, Node: name,
+				Detail: "attached to the new access point",
+			})
+			log.Emit(trace.Event{
+				At: tb.Engine.Now(), Kind: trace.KindHandoff, Node: name,
+				Detail: fmt.Sprintf("complete (anticipated=%t link-layer=%t nar=%t par=%t)",
+					rec.Anticipated, rec.LinkLayerOnly, rec.NARGranted, rec.PARGranted),
+			})
+		}
+		prevDeliver := unit.MH.OnDeliver
+		unit.MH.OnDeliver = func(pkt *inet.Packet) {
+			if prevDeliver != nil {
+				prevDeliver(pkt)
+			}
+			log.Emit(trace.Event{
+				At: tb.Engine.Now(), Kind: trace.KindDeliver, Node: name,
+				Seq:    int64(pkt.Seq),
+				Detail: fmt.Sprintf("%s flow=%d class=%s", pkt.Proto, pkt.Flow, pkt.Class),
+			})
+		}
+	}
+}

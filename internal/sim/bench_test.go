@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleAndRun measures raw engine throughput: schedule-heavy
+// workloads in the network simulator are bounded by this loop.
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%1000)*Microsecond, func() {})
+		if i%1024 == 1023 {
+			if err := e.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerReset measures the cancel-and-rearm path protocol timers
+// exercise constantly.
+func BenchmarkTimerReset(b *testing.B) {
+	e := NewEngine()
+	tm := NewTimer(e, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(Second)
+	}
+	tm.Stop()
+}

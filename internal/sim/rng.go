@@ -1,0 +1,41 @@
+package sim
+
+import "math/rand"
+
+// RNG is the simulator's deterministic random source. All stochastic choices
+// (jitter, start phases) flow through one seeded RNG so that runs with the
+// same seed are identical.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a value in [0, n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative 63-bit value.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Jitter returns a time in [0, max). A non-positive max yields zero.
+func (g *RNG) Jitter(max Time) Time {
+	if max <= 0 {
+		return 0
+	}
+	return Time(g.r.Int63n(int64(max)))
+}
+
+// Uniform returns a time uniformly distributed in [lo, hi). If hi <= lo it
+// returns lo.
+func (g *RNG) Uniform(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.Jitter(hi-lo)
+}

@@ -1,0 +1,214 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events scheduled for the same instant fire in the order they were
+// scheduled (stable FIFO tie-break), which makes every simulation in this
+// repository reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual time instant, measured in nanoseconds since the start of
+// the simulation. It is deliberately distinct from time.Time: simulations
+// never consult the wall clock.
+type Time int64
+
+// Common time unit helpers, mirroring the time package.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual instant.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a time.Duration into virtual time units.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds returns the instant as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the instant as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the instant as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Handler is a scheduled callback. It runs with the engine clock set to the
+// event's instant.
+type Handler func()
+
+// event is a single queue entry.
+type event struct {
+	at     Time
+	seq    uint64 // insertion order, breaks ties deterministically
+	fn     Handler
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// EventRef identifies a scheduled event so it can be cancelled.
+type EventRef struct{ ev *event }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (r EventRef) Cancelled() bool { return r.ev != nil && r.ev.cancel }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrStopped is returned by Run when Stop was called before the horizon.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Engine is the discrete-event scheduler. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// processed counts events that have fired, for diagnostics.
+	processed uint64
+}
+
+// NewEngine returns an engine with its clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events that have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after the given delay. A negative delay is treated as
+// zero (the event fires at the current instant, after already-queued events
+// for that instant).
+func (e *Engine) Schedule(delay Time, fn Handler) EventRef {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at the given absolute instant. Instants in the past are clamped
+// to the current time.
+func (e *Engine) At(at Time, fn Handler) EventRef {
+	if fn == nil {
+		panic("sim: At called with nil handler")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventRef{ev: ev}
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ref EventRef) {
+	ev := ref.ev
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Stop makes the current Run call return after the in-flight event handler
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending event and advances the clock to its
+// instant. It reports whether an event fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or the clock would pass the
+// horizon. Events scheduled exactly at the horizon still fire. It returns
+// ErrStopped if Stop was called, otherwise nil.
+func (e *Engine) Run(until Time) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > until {
+			// Leave the event queued; advance the clock to the horizon so
+			// Now() reflects how far the simulation progressed.
+			e.now = until
+			return nil
+		}
+		e.Step()
+	}
+	if until != MaxTime && e.now < until {
+		e.now = until
+	}
+	return nil
+}
+
+// RunAll processes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() error { return e.Run(MaxTime) }

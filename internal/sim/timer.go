@@ -1,0 +1,100 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to an Engine. Protocol state
+// machines use it for retransmission and lifetime timeouts.
+//
+// A Timer is not safe for concurrent use; like everything in the simulator
+// it runs on the single event-loop goroutine.
+type Timer struct {
+	engine  *Engine
+	fn      Handler
+	ref     EventRef
+	armed   bool
+	expires Time
+}
+
+// NewTimer returns an unarmed timer that runs fn when it fires.
+func NewTimer(engine *Engine, fn Handler) *Timer {
+	if engine == nil {
+		panic("sim: NewTimer with nil engine")
+	}
+	if fn == nil {
+		panic("sim: NewTimer with nil handler")
+	}
+	return &Timer{engine: engine, fn: fn}
+}
+
+// Armed reports whether the timer is currently scheduled.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Expires returns the instant the timer will fire; only meaningful while
+// Armed.
+func (t *Timer) Expires() Time { return t.expires }
+
+// Reset (re)arms the timer to fire after delay, cancelling any pending
+// expiry.
+func (t *Timer) Reset(delay Time) {
+	t.Stop()
+	t.armed = true
+	t.expires = t.engine.Now() + delay
+	t.ref = t.engine.Schedule(delay, func() {
+		t.armed = false
+		t.fn()
+	})
+}
+
+// ResetAt (re)arms the timer to fire at an absolute instant.
+func (t *Timer) ResetAt(at Time) {
+	now := t.engine.Now()
+	if at < now {
+		at = now
+	}
+	t.Reset(at - now)
+}
+
+// Stop cancels a pending expiry. Stopping an unarmed timer is a no-op.
+func (t *Timer) Stop() {
+	if !t.armed {
+		return
+	}
+	t.engine.Cancel(t.ref)
+	t.armed = false
+}
+
+// Ticker invokes fn at a fixed period until stopped.
+type Ticker struct {
+	timer  *Timer
+	period Time
+	fn     Handler
+}
+
+// NewTicker starts a ticker whose first tick fires after one period.
+func NewTicker(engine *Engine, period Time, fn Handler) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	tk := &Ticker{period: period, fn: fn}
+	tk.timer = NewTimer(engine, tk.tick)
+	tk.timer.Reset(period)
+	return tk
+}
+
+// NewTickerAt starts a ticker whose first tick fires after the given phase
+// offset; subsequent ticks follow every period.
+func NewTickerAt(engine *Engine, phase, period Time, fn Handler) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTickerAt with non-positive period")
+	}
+	tk := &Ticker{period: period, fn: fn}
+	tk.timer = NewTimer(engine, tk.tick)
+	tk.timer.Reset(phase)
+	return tk
+}
+
+func (tk *Ticker) tick() {
+	tk.timer.Reset(tk.period)
+	tk.fn()
+}
+
+// Stop halts the ticker.
+func (tk *Ticker) Stop() { tk.timer.Stop() }

@@ -1,0 +1,201 @@
+package sim
+
+import "testing"
+
+func TestTimerFiresOnce(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tm := NewTimer(e, func() { count++ })
+	tm.Reset(Second)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	if tm.Expires() != Second {
+		t.Fatalf("Expires() = %v, want 1s", tm.Expires())
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if count != 1 {
+		t.Fatalf("fired %d times, want 1", count)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tm := NewTimer(e, func() { count++ })
+	tm.Reset(Second)
+	tm.Stop()
+	if tm.Armed() {
+		t.Fatal("timer armed after Stop")
+	}
+	tm.Stop() // idempotent
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if count != 0 {
+		t.Fatalf("stopped timer fired %d times", count)
+	}
+}
+
+func TestTimerResetReplacesPending(t *testing.T) {
+	e := NewEngine()
+	var firedAt []Time
+	tm := NewTimer(e, func() { firedAt = append(firedAt, e.Now()) })
+	tm.Reset(Second)
+	tm.Reset(3 * Second)
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(firedAt) != 1 || firedAt[0] != 3*Second {
+		t.Fatalf("firedAt = %v, want [3s]", firedAt)
+	}
+}
+
+func TestTimerResetAt(t *testing.T) {
+	e := NewEngine()
+	var firedAt Time = -1
+	tm := NewTimer(e, func() { firedAt = e.Now() })
+	e.Schedule(Second, func() { tm.ResetAt(4 * Second) })
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if firedAt != 4*Second {
+		t.Fatalf("fired at %v, want 4s", firedAt)
+	}
+}
+
+func TestTimerResetAtPastClamps(t *testing.T) {
+	e := NewEngine()
+	var firedAt Time = -1
+	tm := NewTimer(e, func() { firedAt = e.Now() })
+	e.Schedule(2*Second, func() { tm.ResetAt(Second) })
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if firedAt != 2*Second {
+		t.Fatalf("fired at %v, want 2s (clamped)", firedAt)
+	}
+}
+
+func TestTimerRearmInsideHandler(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		count++
+		if count < 3 {
+			tm.Reset(Second)
+		}
+	})
+	tm.Reset(Second)
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestTickerTicksAtPeriod(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tk *Ticker
+	tk = NewTicker(e, Second, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 4 {
+			tk.Stop()
+		}
+	})
+	if err := e.Run(100 * Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Time{Second, 2 * Second, 3 * Second, 4 * Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerAtPhase(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tk *Ticker
+	tk = NewTicker(e, Second, nil)
+	tk.Stop()
+	tk = NewTickerAt(e, 250*Millisecond, Second, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 3 {
+			tk.Stop()
+		}
+	})
+	if err := e.Run(100 * Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Time{250 * Millisecond, 1250 * Millisecond, 2250 * Millisecond}
+	for i := range want {
+		if i >= len(ticks) || ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestNewTickerPanicsOnBadPeriod(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker(0) did not panic")
+		}
+	}()
+	NewTicker(e, 0, func() {})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		j := g.Jitter(10 * Millisecond)
+		if j < 0 || j >= 10*Millisecond {
+			t.Fatalf("Jitter out of range: %v", j)
+		}
+	}
+	if g.Jitter(0) != 0 {
+		t.Fatal("Jitter(0) != 0")
+	}
+	if g.Jitter(-Second) != 0 {
+		t.Fatal("Jitter(negative) != 0")
+	}
+}
+
+func TestRNGUniform(t *testing.T) {
+	g := NewRNG(11)
+	lo, hi := Second, 2*Second
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(lo, hi)
+		if v < lo || v >= hi {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	if got := g.Uniform(hi, lo); got != hi {
+		t.Fatalf("Uniform with hi<=lo = %v, want lo", got)
+	}
+}

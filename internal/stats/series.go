@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// TimeSeries buckets a quantity (bytes, packets) into fixed windows, for
+// throughput-over-time plots like Figure 4.14.
+type TimeSeries struct {
+	window  sim.Time
+	buckets []float64
+}
+
+// NewTimeSeries creates a series with the given bucket width.
+func NewTimeSeries(window sim.Time) *TimeSeries {
+	if window <= 0 {
+		panic("stats: NewTimeSeries with non-positive window")
+	}
+	return &TimeSeries{window: window}
+}
+
+// Window returns the bucket width.
+func (ts *TimeSeries) Window() sim.Time { return ts.window }
+
+// Add accumulates v into the bucket containing the instant.
+func (ts *TimeSeries) Add(at sim.Time, v float64) {
+	if at < 0 {
+		return
+	}
+	idx := int(at / ts.window)
+	for len(ts.buckets) <= idx {
+		ts.buckets = append(ts.buckets, 0)
+	}
+	ts.buckets[idx] += v
+}
+
+// Buckets returns the raw bucket values.
+func (ts *TimeSeries) Buckets() []float64 { return ts.buckets }
+
+// Point is one (time, value) pair of a rendered series.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// Rate converts the buckets into per-second rates, stamped at each
+// bucket's start.
+func (ts *TimeSeries) Rate() []Point {
+	scale := float64(sim.Second) / float64(ts.window)
+	out := make([]Point, len(ts.buckets))
+	for i, v := range ts.buckets {
+		out[i] = Point{At: sim.Time(i) * ts.window, Value: v * scale}
+	}
+	return out
+}
+
+// SeqSample is one (time, sequence-number) event for TCP sequence traces
+// (Figures 4.12/4.13).
+type SeqSample struct {
+	At  sim.Time
+	Seq uint64
+}
+
+// SeqTrace records sequence-number events over time.
+type SeqTrace struct {
+	samples []SeqSample
+}
+
+// Record appends one event.
+func (tr *SeqTrace) Record(at sim.Time, seq uint64) {
+	tr.samples = append(tr.samples, SeqSample{At: at, Seq: seq})
+}
+
+// Samples returns the recorded events in order.
+func (tr *SeqTrace) Samples() []SeqSample { return tr.samples }
+
+// Len returns the number of events.
+func (tr *SeqTrace) Len() int { return len(tr.samples) }
+
+// Summary accumulates scalar samples (e.g. one metric across seeds) and
+// reports mean and standard deviation.
+type Summary struct {
+	n    int
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sum2 += v * v
+}
+
+// N returns the sample count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (zero when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// StdDev returns the population standard deviation (zero when fewer than
+// two samples).
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sum2/float64(s.n) - m*m
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	return math.Sqrt(v)
+}
+
+// Min and Max return the extremes (zero when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample.
+func (s *Summary) Max() float64 { return s.max }

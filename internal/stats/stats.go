@@ -1,0 +1,219 @@
+// Package stats collects the measurements the thesis' figures are built
+// from: per-flow send/deliver/drop counts, per-packet end-to-end delay
+// samples, and bucketed time series (throughput).
+//
+// All collectors run on the single simulation goroutine; none are safe for
+// concurrent use.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// DelaySample is one delivered packet's end-to-end latency.
+type DelaySample struct {
+	// Seq is the application sequence number.
+	Seq uint32
+	// At is the delivery instant.
+	At sim.Time
+	// Delay is delivery time minus creation time.
+	Delay sim.Time
+}
+
+// FlowStats aggregates one application flow.
+type FlowStats struct {
+	Flow  inet.FlowID
+	Class inet.Class
+
+	Sent      uint64
+	Delivered uint64
+	// Dropped counts packets reported lost by location.
+	Dropped map[string]uint64
+
+	Delays []DelaySample
+}
+
+// DroppedTotal sums drops across locations.
+func (f *FlowStats) DroppedTotal() uint64 {
+	var total uint64
+	for _, n := range f.Dropped {
+		total += n
+	}
+	return total
+}
+
+// Lost returns sent minus delivered: every packet unaccounted for at the
+// end of a run, whether it died in a buffer, on the air, or in a queue.
+func (f *FlowStats) Lost() uint64 {
+	if f.Delivered > f.Sent {
+		return 0
+	}
+	return f.Sent - f.Delivered
+}
+
+// MaxDelay returns the largest recorded delay (zero when empty).
+func (f *FlowStats) MaxDelay() sim.Time {
+	var m sim.Time
+	for _, s := range f.Delays {
+		if s.Delay > m {
+			m = s.Delay
+		}
+	}
+	return m
+}
+
+// MeanDelay returns the average recorded delay (zero when empty).
+func (f *FlowStats) MeanDelay() sim.Time {
+	if len(f.Delays) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, s := range f.Delays {
+		sum += s.Delay
+	}
+	return sum / sim.Time(len(f.Delays))
+}
+
+// Recorder is the central measurement sink for one simulation run.
+type Recorder struct {
+	flows map[inet.FlowID]*FlowStats
+	// dropsByWhere aggregates across flows for quick totals.
+	dropsByWhere map[string]uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		flows:        make(map[inet.FlowID]*FlowStats),
+		dropsByWhere: make(map[string]uint64),
+	}
+}
+
+// flow returns (creating if needed) the stats bucket for a flow.
+func (r *Recorder) flow(id inet.FlowID) *FlowStats {
+	f, ok := r.flows[id]
+	if !ok {
+		f = &FlowStats{Flow: id, Dropped: make(map[string]uint64)}
+		r.flows[id] = f
+	}
+	return f
+}
+
+// DeclareFlow registers a flow's class ahead of traffic, so empty flows
+// still report.
+func (r *Recorder) DeclareFlow(id inet.FlowID, class inet.Class) {
+	r.flow(id).Class = class
+}
+
+// Sent records one transmitted application packet.
+func (r *Recorder) Sent(pkt *inet.Packet) {
+	f := r.flow(pkt.Flow)
+	f.Sent++
+	if f.Class == inet.ClassUnspecified {
+		f.Class = pkt.Class
+	}
+}
+
+// Delivered records one received application packet at the given instant.
+func (r *Recorder) Delivered(pkt *inet.Packet, at sim.Time) {
+	f := r.flow(pkt.Flow)
+	f.Delivered++
+	f.Delays = append(f.Delays, DelaySample{Seq: pkt.Seq, At: at, Delay: at - pkt.Created})
+}
+
+// Dropped records one lost packet with its drop location. Tunnel headers
+// are stripped so the innermost flow is charged.
+func (r *Recorder) Dropped(pkt *inet.Packet, where string) {
+	inner := pkt.Innermost()
+	if inner.Flow != 0 {
+		r.flow(inner.Flow).Dropped[where]++
+	}
+	r.dropsByWhere[where]++
+}
+
+// Flow returns the stats for one flow (nil if never seen).
+func (r *Recorder) Flow(id inet.FlowID) *FlowStats { return r.flows[id] }
+
+// Flows returns all flows sorted by ID.
+func (r *Recorder) Flows() []*FlowStats {
+	out := make([]*FlowStats, 0, len(r.flows))
+	for _, f := range r.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	return out
+}
+
+// DropsAt returns the total drops recorded at a location.
+func (r *Recorder) DropsAt(where string) uint64 { return r.dropsByWhere[where] }
+
+// TotalSent sums sends across flows.
+func (r *Recorder) TotalSent() uint64 {
+	var total uint64
+	for _, f := range r.flows {
+		total += f.Sent
+	}
+	return total
+}
+
+// TotalDelivered sums deliveries across flows.
+func (r *Recorder) TotalDelivered() uint64 {
+	var total uint64
+	for _, f := range r.flows {
+		total += f.Delivered
+	}
+	return total
+}
+
+// TotalLost sums sent-minus-delivered across flows.
+func (r *Recorder) TotalLost() uint64 {
+	var total uint64
+	for _, f := range r.flows {
+		total += f.Lost()
+	}
+	return total
+}
+
+// DelayPercentile returns the p-th percentile (0 < p ≤ 100) of recorded
+// delays using nearest-rank on a sorted copy; zero when no samples.
+func (f *FlowStats) DelayPercentile(p float64) sim.Time {
+	n := len(f.Delays)
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]sim.Time, n)
+	for i, s := range f.Delays {
+		sorted[i] = s.Delay
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Jitter returns the mean absolute difference between consecutive
+// packets' delays (the RFC 3550 interarrival-jitter idea without the
+// smoothing filter); zero with fewer than two samples.
+func (f *FlowStats) Jitter() sim.Time {
+	if len(f.Delays) < 2 {
+		return 0
+	}
+	var sum sim.Time
+	for i := 1; i < len(f.Delays); i++ {
+		d := f.Delays[i].Delay - f.Delays[i-1].Delay
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / sim.Time(len(f.Delays)-1)
+}

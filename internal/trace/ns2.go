@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// NS2Writer renders events in the spirit of the classic ns-2 trace format
+// the thesis' toolchain produced, one line per event:
+//
+//	<op> <time> <node> <detail...>
+//
+// with the operation characters borrowed from ns-2: 'r' receive/deliver,
+// 'd' drop, 's' send (control), '+'/'-' link up/down, 'h' handoff,
+// '#' annotation. It is a convenience for eyeballing runs next to original
+// ns-2 traces, not a byte-compatible reimplementation.
+type NS2Writer struct {
+	w io.Writer
+}
+
+// NewNS2Writer wraps an output stream.
+func NewNS2Writer(w io.Writer) *NS2Writer { return &NS2Writer{w: w} }
+
+// opChar maps event kinds to ns-2 style operation characters.
+func opChar(k Kind) byte {
+	switch k {
+	case KindDeliver:
+		return 'r'
+	case KindDrop:
+		return 'd'
+	case KindControl:
+		return 's'
+	case KindLinkUp:
+		return '+'
+	case KindLinkDown:
+		return '-'
+	case KindHandoff:
+		return 'h'
+	default:
+		return '#'
+	}
+}
+
+// WriteEvent emits one line.
+func (n *NS2Writer) WriteEvent(ev Event) error {
+	if ev.Seq >= 0 {
+		_, err := fmt.Fprintf(n.w, "%c %.6f %s seq %d %s\n",
+			opChar(ev.Kind), ev.At.Seconds(), ev.Node, ev.Seq, ev.Detail)
+		return err
+	}
+	_, err := fmt.Fprintf(n.w, "%c %.6f %s %s\n",
+		opChar(ev.Kind), ev.At.Seconds(), ev.Node, ev.Detail)
+	return err
+}
+
+// WriteLog emits every stored event in time order.
+func (n *NS2Writer) WriteLog(l *Log) error {
+	for _, ev := range l.Events() {
+		if err := n.WriteEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

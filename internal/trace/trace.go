@@ -1,0 +1,154 @@
+// Package trace is the simulator's structured event log: protocol engines
+// and scenario builders emit typed events into a Log, and consumers render
+// them as a human-readable protocol trace or an ns-2-style packet trace.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies events.
+type Kind int
+
+const (
+	// KindControl is a control-message transmission.
+	KindControl Kind = iota + 1
+	// KindDrop is a packet loss (buffer, policy, lifetime, or air).
+	KindDrop
+	// KindLinkDown marks the start of an L2 blackout.
+	KindLinkDown
+	// KindLinkUp marks an attachment.
+	KindLinkUp
+	// KindHandoff marks a completed handover.
+	KindHandoff
+	// KindDeliver is an application-packet delivery.
+	KindDeliver
+	// KindNote is free-form annotation.
+	KindNote
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindControl:
+		return "control"
+	case KindDrop:
+		return "drop"
+	case KindLinkDown:
+		return "link-down"
+	case KindLinkUp:
+		return "link-up"
+	case KindHandoff:
+		return "handoff"
+	case KindDeliver:
+		return "deliver"
+	case KindNote:
+		return "note"
+	default:
+		return "kind(?)"
+	}
+}
+
+// Event is one log entry.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	// Node is the emitting element ("par", "mh0", …).
+	Node string
+	// Detail is the human-readable payload ("sends HI", "drops seq 42
+	// (nar-buffer)", …).
+	Detail string
+	// Seq carries a packet sequence number when meaningful (KindDeliver,
+	// KindDrop); -1 otherwise.
+	Seq int64
+}
+
+// Log collects events in order. A zero Log is not usable; call NewLog.
+type Log struct {
+	events []Event
+	limit  int
+	// dropped counts events discarded once the limit was hit.
+	dropped uint64
+	subs    []func(Event)
+	seq     int
+}
+
+// NewLog creates a log bounded to limit events (zero: DefaultLimit).
+func NewLog(limit int) *Log {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Log{limit: limit}
+}
+
+// DefaultLimit bounds logs whose creator did not choose a size.
+const DefaultLimit = 100_000
+
+// Emit appends an event and notifies subscribers. Events beyond the limit
+// are counted but not stored.
+func (l *Log) Emit(ev Event) {
+	if ev.Seq == 0 && ev.Kind != KindDeliver && ev.Kind != KindDrop {
+		ev.Seq = -1
+	}
+	for _, fn := range l.subs {
+		fn(ev)
+	}
+	if len(l.events) >= l.limit {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, ev)
+}
+
+// Note records a free-form annotation.
+func (l *Log) Note(at sim.Time, node, format string, args ...any) {
+	l.Emit(Event{At: at, Kind: KindNote, Node: node, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Subscribe registers a live consumer invoked on every Emit.
+func (l *Log) Subscribe(fn func(Event)) { l.subs = append(l.subs, fn) }
+
+// Len returns the number of stored events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Dropped returns how many events exceeded the limit.
+func (l *Log) Dropped() uint64 { return l.dropped }
+
+// Events returns the stored events sorted by time (stable for ties).
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Filter returns the stored events of the given kinds, time-sorted.
+func (l *Log) Filter(kinds ...Kind) []Event {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, ev := range l.Events() {
+		if want[ev.Kind] {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Render formats the log as a timestamped table.
+func (l *Log) Render() string {
+	var b strings.Builder
+	for _, ev := range l.Events() {
+		fmt.Fprintf(&b, "%12.6fs  %-9s %-6s %s\n", ev.At.Seconds(), ev.Kind, ev.Node, ev.Detail)
+	}
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "... %d events beyond the log limit\n", l.dropped)
+	}
+	return b.String()
+}

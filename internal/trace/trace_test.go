@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestLogEmitAndEvents(t *testing.T) {
+	l := NewLog(10)
+	l.Emit(Event{At: 2 * sim.Second, Kind: KindControl, Node: "par", Detail: "sends HI"})
+	l.Emit(Event{At: sim.Second, Kind: KindLinkDown, Node: "mh", Detail: "blackout"})
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("Len = %d, want 2", len(evs))
+	}
+	if evs[0].At != sim.Second || evs[1].At != 2*sim.Second {
+		t.Fatalf("events not time-sorted: %+v", evs)
+	}
+	if evs[0].Seq != -1 {
+		t.Fatalf("non-packet event Seq = %d, want -1", evs[0].Seq)
+	}
+}
+
+func TestLogStableForTies(t *testing.T) {
+	l := NewLog(10)
+	for i := 0; i < 5; i++ {
+		l.Emit(Event{At: sim.Second, Kind: KindNote, Detail: string(rune('a' + i))})
+	}
+	evs := l.Events()
+	for i, ev := range evs {
+		if ev.Detail != string(rune('a'+i)) {
+			t.Fatalf("tie order broken: %+v", evs)
+		}
+	}
+}
+
+func TestLogLimit(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 5; i++ {
+		l.Emit(Event{At: sim.Time(i), Kind: KindNote})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", l.Dropped())
+	}
+	if !strings.Contains(l.Render(), "2 events beyond") {
+		t.Error("Render does not mention dropped events")
+	}
+}
+
+func TestLogSubscribe(t *testing.T) {
+	l := NewLog(2)
+	var seen []Kind
+	l.Subscribe(func(ev Event) { seen = append(seen, ev.Kind) })
+	l.Emit(Event{Kind: KindDrop, Seq: 7})
+	l.Emit(Event{Kind: KindLinkUp})
+	l.Emit(Event{Kind: KindNote}) // beyond the limit, still delivered live
+	if len(seen) != 3 {
+		t.Fatalf("subscriber saw %d events, want 3", len(seen))
+	}
+}
+
+func TestLogFilter(t *testing.T) {
+	l := NewLog(10)
+	l.Emit(Event{At: 1, Kind: KindDrop, Seq: 1})
+	l.Emit(Event{At: 2, Kind: KindControl})
+	l.Emit(Event{At: 3, Kind: KindDrop, Seq: 2})
+	drops := l.Filter(KindDrop)
+	if len(drops) != 2 || drops[0].Seq != 1 || drops[1].Seq != 2 {
+		t.Fatalf("Filter = %+v", drops)
+	}
+}
+
+func TestLogNote(t *testing.T) {
+	l := NewLog(10)
+	l.Note(5*sim.Second, "sim", "phase %d begins", 2)
+	evs := l.Events()
+	if len(evs) != 1 || evs[0].Detail != "phase 2 begins" || evs[0].Kind != KindNote {
+		t.Fatalf("Note produced %+v", evs)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindControl, KindDrop, KindLinkDown, KindLinkUp, KindHandoff, KindDeliver, KindNote}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "kind(?)" || seen[s] {
+			t.Errorf("bad or duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() != "kind(?)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestNS2Writer(t *testing.T) {
+	l := NewLog(10)
+	l.Emit(Event{At: 1500 * sim.Millisecond, Kind: KindDeliver, Node: "mh", Seq: 42, Detail: "udp"})
+	l.Emit(Event{At: 2 * sim.Second, Kind: KindDrop, Node: "nar", Seq: 43, Detail: "nar-buffer"})
+	l.Emit(Event{At: 3 * sim.Second, Kind: KindLinkDown, Node: "mh", Detail: "blackout"})
+
+	var b strings.Builder
+	if err := NewNS2Writer(&b).WriteLog(l); err != nil {
+		t.Fatalf("WriteLog: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := []string{
+		"r 1.500000 mh seq 42 udp",
+		"d 2.000000 nar seq 43 nar-buffer",
+		"- 3.000000 mh blackout",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestNS2OpChars(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want byte
+	}{
+		{KindDeliver, 'r'}, {KindDrop, 'd'}, {KindControl, 's'},
+		{KindLinkUp, '+'}, {KindLinkDown, '-'}, {KindHandoff, 'h'}, {KindNote, '#'},
+	}
+	for _, tt := range tests {
+		if got := opChar(tt.kind); got != tt.want {
+			t.Errorf("opChar(%v) = %c, want %c", tt.kind, got, tt.want)
+		}
+	}
+}
+
+// Property: Events() is always sorted and never exceeds the limit,
+// whatever emission order.
+func TestPropertyLogOrderedAndBounded(t *testing.T) {
+	f := func(times []uint16) bool {
+		l := NewLog(64)
+		for _, at := range times {
+			l.Emit(Event{At: sim.Time(at), Kind: KindNote})
+		}
+		evs := l.Events()
+		if len(evs) > 64 {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].At < evs[i-1].At {
+				return false
+			}
+		}
+		return uint64(len(evs))+l.Dropped() == uint64(len(times))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/inet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func cbrConfig() CBRConfig {
+	return CBRConfig{
+		Flow:     1,
+		Class:    inet.ClassRealTime,
+		Src:      inet.Addr{Net: 1, Host: 1},
+		Dst:      inet.Addr{Net: 50, Host: 7},
+		Size:     160,
+		Interval: 20 * sim.Millisecond,
+	}
+}
+
+func TestCBREmitsAtInterval(t *testing.T) {
+	e := sim.NewEngine()
+	var times []sim.Time
+	var pkts []*inet.Packet
+	src := NewCBR(e, cbrConfig(), func(p *inet.Packet) {
+		times = append(times, e.Now())
+		pkts = append(pkts, p)
+	}, nil, nil)
+	src.Start(0)
+	if err := e.Run(100 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	src.Stop()
+	if len(times) != 5 {
+		t.Fatalf("emitted %d packets in 100ms, want 5", len(times))
+	}
+	for i, at := range times {
+		if want := sim.Time(i+1) * 20 * sim.Millisecond; at != want {
+			t.Fatalf("packet %d at %v, want %v", i, at, want)
+		}
+	}
+	for i, p := range pkts {
+		if p.Seq != uint32(i) {
+			t.Fatalf("seq %d at position %d", p.Seq, i)
+		}
+		if p.Created != times[i] {
+			t.Fatalf("Created = %v, emitted at %v", p.Created, times[i])
+		}
+		if p.Class != inet.ClassRealTime || p.Size != 160 || p.Proto != inet.ProtoUDP {
+			t.Fatalf("packet fields wrong: %v", p)
+		}
+	}
+}
+
+func TestCBRPhaseOffset(t *testing.T) {
+	e := sim.NewEngine()
+	var first sim.Time = -1
+	src := NewCBR(e, cbrConfig(), func(p *inet.Packet) {
+		if first < 0 {
+			first = e.Now()
+		}
+	}, nil, nil)
+	src.Start(3 * sim.Millisecond)
+	if err := e.Run(50 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	src.Stop()
+	if first != 23*sim.Millisecond {
+		t.Fatalf("first packet at %v, want 23ms (interval+phase)", first)
+	}
+}
+
+func TestCBRRecordsSends(t *testing.T) {
+	e := sim.NewEngine()
+	rec := stats.NewRecorder()
+	src := NewCBR(e, cbrConfig(), func(p *inet.Packet) {}, nil, rec)
+	src.Start(0)
+	if err := e.Run(sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	src.Stop()
+	f := rec.Flow(1)
+	if f == nil || f.Sent != 50 {
+		t.Fatalf("recorded %v, want 50 sends", f)
+	}
+	if f.Class != inet.ClassRealTime {
+		t.Fatalf("declared class = %v", f.Class)
+	}
+}
+
+func TestCBRStopAndRestart(t *testing.T) {
+	e := sim.NewEngine()
+	count := 0
+	src := NewCBR(e, cbrConfig(), func(p *inet.Packet) { count++ }, nil, nil)
+	src.Start(0)
+	if err := e.Run(100 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	src.Stop()
+	if err := e.Run(200 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d after stop, want 5", count)
+	}
+	src.Start(0)
+	if err := e.Run(300 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	src.Stop()
+	if count != 10 {
+		t.Fatalf("count = %d after restart, want 10", count)
+	}
+	// Sequence numbers continue across restarts.
+	if src.Seq() != 10 {
+		t.Fatalf("Seq = %d, want 10", src.Seq())
+	}
+}
+
+func TestCBRPacketIDs(t *testing.T) {
+	e := sim.NewEngine()
+	next := uint64(0)
+	newID := func() uint64 { next++; return next }
+	var ids []uint64
+	src := NewCBR(e, cbrConfig(), func(p *inet.Packet) { ids = append(ids, p.ID) }, newID, nil)
+	src.Start(0)
+	if err := e.Run(60 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	src.Stop()
+	for i, id := range ids {
+		if id != uint64(i+1) {
+			t.Fatalf("ids = %v", ids)
+		}
+	}
+}
+
+func TestCBRRate(t *testing.T) {
+	cfg := cbrConfig() // 160 B / 20 ms = 64 kb/s
+	if got := cfg.RateBPS(); math.Abs(got-64000) > 1e-9 {
+		t.Fatalf("RateBPS = %v, want 64000", got)
+	}
+	if (CBRConfig{}).RateBPS() != 0 {
+		t.Fatal("zero interval should report zero rate")
+	}
+}
+
+func TestCBRValidation(t *testing.T) {
+	e := sim.NewEngine()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero interval", func() {
+		NewCBR(e, CBRConfig{Size: 160}, func(*inet.Packet) {}, nil, nil)
+	})
+	mustPanic("nil send", func() {
+		NewCBR(e, cbrConfig(), nil, nil, nil)
+	})
+}
+
+func TestSinkCountsOnlyData(t *testing.T) {
+	e := sim.NewEngine()
+	rec := stats.NewRecorder()
+	sink := Sink(e, rec)
+	sink(&inet.Packet{Proto: inet.ProtoUDP, Flow: 1, Size: 160})
+	sink(&inet.Packet{Proto: inet.ProtoTCP, Flow: 1, Size: 160})
+	sink(&inet.Packet{Proto: inet.ProtoControl, Flow: 1, Size: 64})
+	if got := rec.Flow(1).Delivered; got != 2 {
+		t.Fatalf("Delivered = %d, want 2 (control excluded)", got)
+	}
+}

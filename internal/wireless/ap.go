@@ -1,0 +1,214 @@
+package wireless
+
+import (
+	"math"
+
+	"repro/internal/inet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// APConfig configures an access point's radio.
+type APConfig struct {
+	// Pos is the AP's position on the one-dimensional track, meters.
+	Pos float64
+	// Radius is the coverage radius, meters (112 m in the thesis).
+	Radius float64
+	// BandwidthBPS is the radio line rate (11 Mb/s for 802.11b). Zero
+	// means no serialization delay.
+	BandwidthBPS int64
+	// AirDelay is the over-the-air propagation plus MAC access delay per
+	// frame.
+	AirDelay sim.Time
+	// QueueLimit bounds the shared downlink queue, in packets. Zero
+	// selects netsim.DefaultQueueLimit.
+	QueueLimit int
+	// ReturnUndeliverable hands frames whose station detached back to the
+	// wired router instead of dropping them, modelling a deployment where
+	// the downlink queue logically belongs to the access router (as in the
+	// thesis' ns-2 node structure). Each frame bounces at most once.
+	ReturnUndeliverable bool
+	// Signal is the path-loss model backing RSSI queries (nil selects
+	// DefaultSignal). Coverage itself remains radius-based.
+	Signal SignalModel
+}
+
+// Advertisement is the router-advertisement beacon relayed by an access
+// point on behalf of its access router. Stations use it for movement
+// detection (hearing a new AP's advertisement is the thesis' link-layer
+// source trigger).
+type Advertisement struct {
+	// AP that emitted the beacon.
+	AP *AccessPoint
+	// Router is the advertising access router's address.
+	Router inet.Addr
+	// Net is the network prefix the router serves.
+	Net inet.NetID
+	// Interval is the advertisement period, so stations can infer
+	// lifetime.
+	Interval sim.Time
+}
+
+// AccessPoint bridges its access router's wired interface onto the radio.
+// It implements netsim.Node for the wired side.
+type AccessPoint struct {
+	name   string
+	cfg    APConfig
+	engine *sim.Engine
+	medium *Medium
+	wired  *netsim.Iface
+
+	// Downlink shared transmitter state.
+	busy  bool
+	queue []*inet.Packet
+
+	airDrops uint64
+	// AirDropHook observes packets transmitted while the destination
+	// station was unreachable (detached or out of coverage) — the
+	// packet-loss mechanism of an unbuffered handoff.
+	AirDropHook func(pkt *inet.Packet)
+
+	raTicker *sim.Ticker
+	adv      Advertisement
+}
+
+// NewAccessPoint creates an access point and registers it with the medium.
+func NewAccessPoint(name string, medium *Medium, cfg APConfig) *AccessPoint {
+	ap := &AccessPoint{name: name, cfg: cfg, engine: medium.engine, medium: medium}
+	medium.addAP(ap)
+	return ap
+}
+
+// Name implements netsim.Node.
+func (ap *AccessPoint) Name() string { return ap.name }
+
+// Pos returns the AP's position.
+func (ap *AccessPoint) Pos() float64 { return ap.cfg.Pos }
+
+// Covers reports whether a position is within radio range.
+func (ap *AccessPoint) Covers(pos float64) bool {
+	return math.Abs(pos-ap.cfg.Pos) <= ap.cfg.Radius
+}
+
+// AirDrops counts downlink packets lost because no station accepted them.
+func (ap *AccessPoint) AirDrops() uint64 { return ap.airDrops }
+
+// QueueLen returns the number of packets waiting on the downlink.
+func (ap *AccessPoint) QueueLen() int { return len(ap.queue) }
+
+// AttachIface is invoked by netsim.Connect; it records the wired uplink
+// toward the access router.
+func (ap *AccessPoint) AttachIface(ifc *netsim.Iface) { ap.wired = ifc }
+
+// StartAdvertising begins periodic router advertisements with the given
+// content. The first beacon is staggered by phase to model unsynchronized
+// APs.
+func (ap *AccessPoint) StartAdvertising(adv Advertisement, interval, phase sim.Time) {
+	adv.AP = ap
+	adv.Interval = interval
+	ap.adv = adv
+	if ap.raTicker != nil {
+		ap.raTicker.Stop()
+	}
+	ap.raTicker = sim.NewTickerAt(ap.engine, phase, interval, ap.beacon)
+}
+
+// StopAdvertising halts the beacon.
+func (ap *AccessPoint) StopAdvertising() {
+	if ap.raTicker != nil {
+		ap.raTicker.Stop()
+	}
+}
+
+// beacon delivers the advertisement to every station currently in coverage,
+// associated or not.
+func (ap *AccessPoint) beacon() {
+	now := ap.engine.Now()
+	for _, s := range ap.medium.stations {
+		if s.hearsBeacons() && ap.Covers(s.Pos(now)) {
+			s.deliverRA(ap.adv)
+		}
+	}
+}
+
+// HandlePacket implements netsim.Node: packets arriving from the wired side
+// are transmitted on the shared downlink.
+func (ap *AccessPoint) HandlePacket(in *netsim.Iface, pkt *inet.Packet) {
+	ap.transmitDown(pkt)
+}
+
+// transmitDown serializes pkt on the shared downlink.
+func (ap *AccessPoint) transmitDown(pkt *inet.Packet) {
+	if ap.busy {
+		limit := ap.cfg.QueueLimit
+		if limit == 0 {
+			limit = netsim.DefaultQueueLimit
+		}
+		if len(ap.queue) >= limit {
+			ap.airDrops++
+			if ap.AirDropHook != nil {
+				ap.AirDropHook(pkt)
+			}
+			return
+		}
+		ap.queue = append(ap.queue, pkt)
+		return
+	}
+	ap.startTx(pkt)
+}
+
+func (ap *AccessPoint) startTx(pkt *inet.Packet) {
+	ap.busy = true
+	var txTime sim.Time
+	if ap.cfg.BandwidthBPS > 0 {
+		txTime = sim.Time(int64(pkt.Size) * 8 * int64(sim.Second) / ap.cfg.BandwidthBPS)
+	}
+	ap.engine.Schedule(txTime, func() {
+		ap.engine.Schedule(ap.cfg.AirDelay, func() { ap.deliver(pkt) })
+		if len(ap.queue) > 0 {
+			next := ap.queue[0]
+			copy(ap.queue, ap.queue[1:])
+			ap.queue = ap.queue[:len(ap.queue)-1]
+			ap.busy = false
+			ap.startTx(next)
+		} else {
+			ap.busy = false
+		}
+	})
+}
+
+// deliver hands the frame to the associated, in-coverage station that
+// accepts the destination address. Undeliverable frames are either
+// returned to the router (once, when configured) or counted as air drops.
+func (ap *AccessPoint) deliver(pkt *inet.Packet) {
+	now := ap.engine.Now()
+	for _, s := range ap.medium.stations {
+		if s.ap != ap || !s.CanReceive() {
+			continue
+		}
+		if !ap.Covers(s.Pos(now)) {
+			continue
+		}
+		if s.accepts(pkt.Dst) {
+			s.deliverPacket(pkt)
+			return
+		}
+	}
+	if ap.cfg.ReturnUndeliverable && !pkt.Requeued && ap.wired != nil {
+		pkt.Requeued = true
+		ap.wired.Send(pkt)
+		return
+	}
+	ap.airDrops++
+	if ap.AirDropHook != nil {
+		ap.AirDropHook(pkt)
+	}
+}
+
+// sendUp bridges an uplink frame from a station onto the wired network.
+func (ap *AccessPoint) sendUp(pkt *inet.Packet) {
+	if ap.wired == nil {
+		panic("wireless: access point " + ap.name + " has no wired link")
+	}
+	ap.wired.Send(pkt)
+}

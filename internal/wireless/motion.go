@@ -1,0 +1,84 @@
+// Package wireless models the 802.11 layer the thesis abstracts over:
+// access points with circular coverage, mobile stations with deterministic
+// linear motion, periodic router-advertisement beacons, a shared downlink
+// transmitter per access point, and a link-layer handoff blackout during
+// which the station can neither send nor receive (60–400 ms in the paper's
+// measurements; 200 ms in its simulations).
+//
+// The geometry is one-dimensional, as in the thesis' scenario: access
+// routers 212 m apart, 112 m coverage radius, 12 m overlap, stations moving
+// at 10 m/s.
+package wireless
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Motion gives a station's position (meters along the track) at any
+// instant. Implementations must be deterministic.
+type Motion interface {
+	Pos(at sim.Time) float64
+}
+
+// Fixed is a stationary position.
+type Fixed float64
+
+// Pos implements Motion.
+func (f Fixed) Pos(sim.Time) float64 { return float64(f) }
+
+// Linear moves from Start at Speed m/s (negative speed moves backward),
+// beginning at instant From. Before From the station sits at Start.
+type Linear struct {
+	Start float64
+	Speed float64
+	From  sim.Time
+}
+
+// Pos implements Motion.
+func (l Linear) Pos(at sim.Time) float64 {
+	if at <= l.From {
+		return l.Start
+	}
+	return l.Start + l.Speed*(at-l.From).Seconds()
+}
+
+// PingPong bounces between A and B at Speed m/s, starting at A (moving
+// toward B) at instant From. It produces the "moving back and forth between
+// the two access routers" workload of Figures 4.3–4.5.
+type PingPong struct {
+	A, B  float64
+	Speed float64
+	From  sim.Time
+}
+
+// Pos implements Motion.
+func (p PingPong) Pos(at sim.Time) float64 {
+	span := math.Abs(p.B - p.A)
+	if span == 0 || p.Speed <= 0 {
+		return p.A
+	}
+	if at <= p.From {
+		return p.A
+	}
+	travelled := p.Speed * (at - p.From).Seconds()
+	phase := math.Mod(travelled, 2*span)
+	offset := phase
+	if phase > span {
+		offset = 2*span - phase
+	}
+	if p.B >= p.A {
+		return p.A + offset
+	}
+	return p.A - offset
+}
+
+// LegDuration returns the time one A→B (or B→A) leg takes.
+func (p PingPong) LegDuration() sim.Time {
+	span := math.Abs(p.B - p.A)
+	if p.Speed <= 0 {
+		return sim.MaxTime
+	}
+	return sim.Time(span / p.Speed * float64(sim.Second))
+}

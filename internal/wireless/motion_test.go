@@ -1,0 +1,121 @@
+package wireless
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFixedMotion(t *testing.T) {
+	m := Fixed(42)
+	if m.Pos(0) != 42 || m.Pos(100*sim.Second) != 42 {
+		t.Fatal("Fixed moved")
+	}
+}
+
+func TestLinearMotion(t *testing.T) {
+	m := Linear{Start: 10, Speed: 10, From: sim.Second}
+	tests := []struct {
+		at   sim.Time
+		want float64
+	}{
+		{0, 10},
+		{sim.Second, 10},
+		{2 * sim.Second, 20},
+		{3500 * sim.Millisecond, 35},
+	}
+	for _, tt := range tests {
+		if got := m.Pos(tt.at); !almostEqual(got, tt.want) {
+			t.Errorf("Pos(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestLinearBackward(t *testing.T) {
+	m := Linear{Start: 100, Speed: -10}
+	if got := m.Pos(3 * sim.Second); !almostEqual(got, 70) {
+		t.Fatalf("Pos = %v, want 70", got)
+	}
+}
+
+func TestPingPongMotion(t *testing.T) {
+	// 0 → 100 at 10 m/s: leg takes 10 s.
+	m := PingPong{A: 0, B: 100, Speed: 10}
+	tests := []struct {
+		at   sim.Time
+		want float64
+	}{
+		{0, 0},
+		{5 * sim.Second, 50},
+		{10 * sim.Second, 100},
+		{15 * sim.Second, 50}, // on the way back
+		{20 * sim.Second, 0},
+		{25 * sim.Second, 50}, // second cycle
+		{30 * sim.Second, 100},
+	}
+	for _, tt := range tests {
+		if got := m.Pos(tt.at); !almostEqual(got, tt.want) {
+			t.Errorf("Pos(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+	if got := m.LegDuration(); got != 10*sim.Second {
+		t.Fatalf("LegDuration = %v, want 10s", got)
+	}
+}
+
+func TestPingPongReversedEndpoints(t *testing.T) {
+	m := PingPong{A: 100, B: 0, Speed: 10}
+	if got := m.Pos(5 * sim.Second); !almostEqual(got, 50) {
+		t.Fatalf("Pos(5s) = %v, want 50", got)
+	}
+	if got := m.Pos(10 * sim.Second); !almostEqual(got, 0) {
+		t.Fatalf("Pos(10s) = %v, want 0", got)
+	}
+}
+
+func TestPingPongDegenerate(t *testing.T) {
+	m := PingPong{A: 5, B: 5, Speed: 10}
+	if got := m.Pos(time100()); got != 5 {
+		t.Fatalf("degenerate span Pos = %v, want 5", got)
+	}
+	m2 := PingPong{A: 5, B: 50, Speed: 0}
+	if got := m2.Pos(time100()); got != 5 {
+		t.Fatalf("zero speed Pos = %v, want 5", got)
+	}
+	if m2.LegDuration() != sim.MaxTime {
+		t.Fatal("zero-speed LegDuration not MaxTime")
+	}
+}
+
+func time100() sim.Time { return 100 * sim.Second }
+
+// Property: ping-pong positions always stay within [min(A,B), max(A,B)].
+func TestPropertyPingPongBounded(t *testing.T) {
+	f := func(a, b int16, speedRaw uint8, atMS uint32) bool {
+		speed := float64(speedRaw%50) + 1
+		m := PingPong{A: float64(a), B: float64(b), Speed: speed}
+		pos := m.Pos(sim.Time(atMS) * sim.Millisecond)
+		lo, hi := math.Min(float64(a), float64(b)), math.Max(float64(a), float64(b))
+		return pos >= lo-1e-6 && pos <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ping-pong is periodic with period 2*span/speed.
+func TestPropertyPingPongPeriodic(t *testing.T) {
+	f := func(atMS uint16) bool {
+		m := PingPong{A: 0, B: 100, Speed: 10}
+		period := 20 * sim.Second
+		at := sim.Time(atMS) * sim.Millisecond
+		return almostEqual(m.Pos(at), m.Pos(at+period))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package wireless
+
+import (
+	"repro/internal/inet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Medium is the registry of radios sharing the simulated air. It exists so
+// beacons and frames can find the stations in coverage.
+type Medium struct {
+	engine   *sim.Engine
+	aps      []*AccessPoint
+	stations []*Station
+}
+
+// NewMedium creates an empty medium.
+func NewMedium(engine *sim.Engine) *Medium {
+	if engine == nil {
+		panic("wireless: NewMedium with nil engine")
+	}
+	return &Medium{engine: engine}
+}
+
+// Engine returns the simulation engine.
+func (m *Medium) Engine() *sim.Engine { return m.engine }
+
+func (m *Medium) addAP(ap *AccessPoint) { m.aps = append(m.aps, ap) }
+func (m *Medium) addStation(s *Station) { m.stations = append(m.stations, s) }
+
+// APs returns the registered access points.
+func (m *Medium) APs() []*AccessPoint { return m.aps }
+
+// StationConfig configures a mobile station's radio.
+type StationConfig struct {
+	// BandwidthBPS is the uplink line rate.
+	BandwidthBPS int64
+	// AirDelay is the per-frame uplink latency.
+	AirDelay sim.Time
+	// L2HandoffDelay is the blackout while the NIC re-associates with a
+	// new access point (200 ms in the thesis' simulations). During the
+	// blackout the station neither sends nor receives and hears no
+	// beacons: "currently available IEEE 802.11 wireless LAN card can
+	// only access one access point at a time".
+	L2HandoffDelay sim.Time
+	// QueueLimit bounds the uplink queue, in packets.
+	QueueLimit int
+}
+
+// Station is a mobile host's wireless NIC. The mobility-protocol engine
+// (internal/core) drives it through Associate/SwitchTo and observes it
+// through the On* callbacks. Once a core.MobileHost is bound to a station
+// it owns all four callbacks; external observers must use the MobileHost's
+// hooks instead of replacing them.
+type Station struct {
+	name   string
+	cfg    StationConfig
+	engine *sim.Engine
+	medium *Medium
+	motion Motion
+
+	ap        *AccessPoint
+	switching bool
+
+	addrs map[inet.Addr]bool
+
+	busy  bool
+	queue []*inet.Packet
+
+	txDrops uint64
+
+	// OnRA is invoked for every router advertisement heard, including
+	// beacons from foreign access points while in an overlap area.
+	OnRA func(adv Advertisement)
+	// OnPacket delivers received network-layer packets.
+	OnPacket func(pkt *inet.Packet)
+	// OnLinkUp fires when an association completes (including the initial
+	// one).
+	OnLinkUp func(ap *AccessPoint)
+	// OnLinkDown fires when the station detaches (start of the L2
+	// blackout).
+	OnLinkDown func(ap *AccessPoint)
+}
+
+// NewStation creates a station and registers it with the medium. It starts
+// detached.
+func NewStation(name string, medium *Medium, motion Motion, cfg StationConfig) *Station {
+	s := &Station{
+		name:   name,
+		cfg:    cfg,
+		engine: medium.engine,
+		medium: medium,
+		motion: motion,
+		addrs:  make(map[inet.Addr]bool),
+	}
+	medium.addStation(s)
+	return s
+}
+
+// Name returns the station identifier.
+func (s *Station) Name() string { return s.name }
+
+// Pos returns the station's position at the given instant.
+func (s *Station) Pos(at sim.Time) float64 { return s.motion.Pos(at) }
+
+// AP returns the currently associated access point, or nil.
+func (s *Station) AP() *AccessPoint { return s.ap }
+
+// Switching reports whether the station is inside an L2 handoff blackout.
+func (s *Station) Switching() bool { return s.switching }
+
+// CanReceive reports whether the radio can accept downlink frames.
+func (s *Station) CanReceive() bool { return s.ap != nil && !s.switching }
+
+// TxDrops counts uplink packets lost because the station was detached.
+func (s *Station) TxDrops() uint64 { return s.txDrops }
+
+// AddAddr registers an address the station accepts (care-of addresses come
+// and go during handovers).
+func (s *Station) AddAddr(a inet.Addr) { s.addrs[a] = true }
+
+// RemoveAddr deregisters an address.
+func (s *Station) RemoveAddr(a inet.Addr) { delete(s.addrs, a) }
+
+// HasAddr reports whether the station currently accepts an address.
+func (s *Station) HasAddr(a inet.Addr) bool { return s.addrs[a] }
+
+func (s *Station) accepts(a inet.Addr) bool { return s.addrs[a] }
+
+func (s *Station) hearsBeacons() bool { return !s.switching }
+
+// Associate attaches the station to an access point immediately (initial
+// attachment; no blackout).
+func (s *Station) Associate(ap *AccessPoint) {
+	s.ap = ap
+	s.switching = false
+	if s.OnLinkUp != nil {
+		s.OnLinkUp(ap)
+	}
+}
+
+// SwitchTo starts a link-layer handoff toward the target access point: the
+// station detaches now and re-attaches after the configured L2 blackout.
+func (s *Station) SwitchTo(target *AccessPoint) {
+	old := s.ap
+	s.ap = nil
+	s.switching = true
+	if s.OnLinkDown != nil {
+		s.OnLinkDown(old)
+	}
+	s.engine.Schedule(s.cfg.L2HandoffDelay, func() {
+		s.switching = false
+		s.ap = target
+		if s.OnLinkUp != nil {
+			s.OnLinkUp(target)
+		}
+	})
+}
+
+// Detach drops the association without re-attaching.
+func (s *Station) Detach() {
+	old := s.ap
+	s.ap = nil
+	if old != nil && s.OnLinkDown != nil {
+		s.OnLinkDown(old)
+	}
+}
+
+// Send transmits a network-layer packet uplink through the associated
+// access point. Packets sent while detached are lost (counted in TxDrops):
+// the station's queue is flushed on link-down like a real NIC reset.
+func (s *Station) Send(pkt *inet.Packet) {
+	if !s.CanReceive() {
+		s.txDrops++
+		return
+	}
+	if s.busy {
+		limit := s.cfg.QueueLimit
+		if limit == 0 {
+			limit = netsim.DefaultQueueLimit
+		}
+		if len(s.queue) >= limit {
+			s.txDrops++
+			return
+		}
+		s.queue = append(s.queue, pkt)
+		return
+	}
+	s.startTx(pkt)
+}
+
+func (s *Station) startTx(pkt *inet.Packet) {
+	s.busy = true
+	var txTime sim.Time
+	if s.cfg.BandwidthBPS > 0 {
+		txTime = sim.Time(int64(pkt.Size) * 8 * int64(sim.Second) / s.cfg.BandwidthBPS)
+	}
+	ap := s.ap // frame is in flight toward this AP even if we detach later
+	s.engine.Schedule(txTime, func() {
+		s.engine.Schedule(s.cfg.AirDelay, func() {
+			// The frame only lands if the station is still in the AP's
+			// coverage when it arrives.
+			if ap != nil && ap.Covers(s.Pos(s.engine.Now())) {
+				ap.sendUp(pkt)
+			}
+		})
+		s.busy = false
+		switch {
+		case len(s.queue) > 0 && s.CanReceive():
+			next := s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.startTx(next)
+		case len(s.queue) > 0:
+			// NIC reset on detach: queued frames are lost.
+			s.txDrops += uint64(len(s.queue))
+			s.queue = s.queue[:0]
+		}
+	})
+}
+
+func (s *Station) deliverRA(adv Advertisement) {
+	if s.OnRA != nil {
+		s.OnRA(adv)
+	}
+}
+
+func (s *Station) deliverPacket(pkt *inet.Packet) {
+	if s.OnPacket != nil {
+		s.OnPacket(pkt)
+	}
+}

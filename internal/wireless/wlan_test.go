@@ -1,0 +1,412 @@
+package wireless
+
+import (
+	"testing"
+
+	"repro/internal/inet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// testWLAN wires AR(router) -- AP -- station at position 0.
+type testWLAN struct {
+	engine  *sim.Engine
+	topo    *netsim.Topology
+	medium  *Medium
+	ar      *netsim.Router
+	ap      *AccessPoint
+	station *Station
+}
+
+func newTestWLAN(t *testing.T, motion Motion) *testWLAN {
+	t.Helper()
+	e := sim.NewEngine()
+	topo := netsim.NewTopology(e)
+	medium := NewMedium(e)
+	ar := netsim.NewRouter("ar", inet.Addr{Net: 10, Host: 1})
+	ap := NewAccessPoint("ap", medium, APConfig{
+		Pos: 0, Radius: 112, BandwidthBPS: 11_000_000, AirDelay: sim.Millisecond,
+	})
+	link := topo.Connect(ar, ap, netsim.LinkConfig{BandwidthBPS: 100_000_000, Delay: sim.Millisecond / 2})
+	st := NewStation("mh", medium, motion, StationConfig{
+		BandwidthBPS: 11_000_000, AirDelay: sim.Millisecond, L2HandoffDelay: 200 * sim.Millisecond,
+	})
+	// AR delivers packets for the station's network out the AP link.
+	ar.AddPrefixRoute(10, link.A())
+	return &testWLAN{engine: e, topo: topo, medium: medium, ar: ar, ap: ap, station: st}
+}
+
+func TestDownlinkDelivery(t *testing.T) {
+	w := newTestWLAN(t, Fixed(10))
+	addr := inet.Addr{Net: 10, Host: 5}
+	w.station.AddAddr(addr)
+	w.station.Associate(w.ap)
+
+	var got *inet.Packet
+	w.station.OnPacket = func(pkt *inet.Packet) { got = pkt }
+
+	pkt := &inet.Packet{Dst: addr, Proto: inet.ProtoUDP, Size: 160}
+	w.ar.Forward(pkt)
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if got == nil {
+		t.Fatal("packet not delivered over the air")
+	}
+	if w.ap.AirDrops() != 0 {
+		t.Fatalf("AirDrops = %d, want 0", w.ap.AirDrops())
+	}
+}
+
+func TestDownlinkLostWhenDetached(t *testing.T) {
+	w := newTestWLAN(t, Fixed(10))
+	addr := inet.Addr{Net: 10, Host: 5}
+	w.station.AddAddr(addr)
+	// Station never associates.
+	received := 0
+	w.station.OnPacket = func(pkt *inet.Packet) { received++ }
+	var lost []*inet.Packet
+	w.ap.AirDropHook = func(pkt *inet.Packet) { lost = append(lost, pkt) }
+
+	w.ar.Forward(&inet.Packet{Dst: addr, Proto: inet.ProtoUDP, Size: 160})
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if received != 0 || len(lost) != 1 || w.ap.AirDrops() != 1 {
+		t.Fatalf("received=%d lost=%d drops=%d, want 0/1/1", received, len(lost), w.ap.AirDrops())
+	}
+}
+
+func TestDownlinkLostOutOfCoverage(t *testing.T) {
+	w := newTestWLAN(t, Fixed(500)) // far outside radius 112
+	addr := inet.Addr{Net: 10, Host: 5}
+	w.station.AddAddr(addr)
+	w.station.Associate(w.ap)
+
+	received := 0
+	w.station.OnPacket = func(pkt *inet.Packet) { received++ }
+	w.ar.Forward(&inet.Packet{Dst: addr, Proto: inet.ProtoUDP, Size: 160})
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if received != 0 || w.ap.AirDrops() != 1 {
+		t.Fatalf("received=%d drops=%d, want 0/1", received, w.ap.AirDrops())
+	}
+}
+
+func TestDownlinkBlackoutDuringL2Handoff(t *testing.T) {
+	w := newTestWLAN(t, Fixed(10))
+	addr := inet.Addr{Net: 10, Host: 5}
+	w.station.AddAddr(addr)
+	w.station.Associate(w.ap)
+
+	received := 0
+	w.station.OnPacket = func(pkt *inet.Packet) { received++ }
+
+	var downAt, upAt sim.Time = -1, -1
+	w.station.OnLinkDown = func(ap *AccessPoint) { downAt = w.engine.Now() }
+	w.station.OnLinkUp = func(ap *AccessPoint) { upAt = w.engine.Now() }
+
+	// Switch (to the same AP, for simplicity) at t=1s; packet mid-blackout
+	// is lost; packet after re-attach is delivered.
+	w.engine.Schedule(sim.Second, func() { w.station.SwitchTo(w.ap) })
+	w.engine.Schedule(1100*sim.Millisecond, func() {
+		w.ar.Forward(&inet.Packet{Dst: addr, Proto: inet.ProtoUDP, Size: 160})
+	})
+	w.engine.Schedule(1500*sim.Millisecond, func() {
+		w.ar.Forward(&inet.Packet{Dst: addr, Proto: inet.ProtoUDP, Size: 160})
+	})
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if received != 1 {
+		t.Fatalf("received = %d, want 1 (one lost in blackout)", received)
+	}
+	if downAt != sim.Second {
+		t.Fatalf("link down at %v, want 1s", downAt)
+	}
+	if upAt != 1200*sim.Millisecond {
+		t.Fatalf("link up at %v, want 1.2s (200ms blackout)", upAt)
+	}
+}
+
+func TestUplinkReachesWiredNetwork(t *testing.T) {
+	w := newTestWLAN(t, Fixed(10))
+	addr := inet.Addr{Net: 10, Host: 5}
+	w.station.AddAddr(addr)
+	w.station.Associate(w.ap)
+
+	var got *inet.Packet
+	w.ar.LocalDeliver = func(in *netsim.Iface, pkt *inet.Packet) bool {
+		got = pkt
+		return true
+	}
+	w.station.Send(&inet.Packet{Src: addr, Dst: w.ar.Addr(), Proto: inet.ProtoControl, Size: 64})
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if got == nil {
+		t.Fatal("uplink packet did not reach the access router")
+	}
+}
+
+func TestUplinkDroppedWhenDetached(t *testing.T) {
+	w := newTestWLAN(t, Fixed(10))
+	w.station.Send(&inet.Packet{Dst: w.ar.Addr(), Proto: inet.ProtoControl, Size: 64})
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if w.station.TxDrops() != 1 {
+		t.Fatalf("TxDrops = %d, want 1", w.station.TxDrops())
+	}
+}
+
+func TestBeaconsHeardOnlyInCoverage(t *testing.T) {
+	e := sim.NewEngine()
+	medium := NewMedium(e)
+	ap := NewAccessPoint("ap", medium, APConfig{Pos: 0, Radius: 112})
+	// Station walks out of coverage at 10 m/s from position 100 (leaves at
+	// t = 1.2 s).
+	st := NewStation("mh", medium, Linear{Start: 100, Speed: 10}, StationConfig{})
+	var heard []sim.Time
+	st.OnRA = func(adv Advertisement) {
+		if adv.AP != ap || adv.Net != 10 {
+			t.Errorf("bad advertisement: %+v", adv)
+		}
+		heard = append(heard, e.Now())
+	}
+	ap.StartAdvertising(Advertisement{Router: inet.Addr{Net: 10, Host: 1}, Net: 10},
+		sim.Second, 500*sim.Millisecond)
+	if err := e.Run(5 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ap.StopAdvertising()
+	// Beacons at 0.5s (pos 105, in coverage) and 1.5s+ (pos 115+, out).
+	if len(heard) != 1 || heard[0] != 500*sim.Millisecond {
+		t.Fatalf("heard = %v, want [0.5s]", heard)
+	}
+}
+
+func TestBeaconsNotHeardDuringBlackout(t *testing.T) {
+	e := sim.NewEngine()
+	medium := NewMedium(e)
+	ap := NewAccessPoint("ap", medium, APConfig{Pos: 0, Radius: 112})
+	st := NewStation("mh", medium, Fixed(0), StationConfig{L2HandoffDelay: 2 * sim.Second})
+	heard := 0
+	st.OnRA = func(adv Advertisement) { heard++ }
+	st.Associate(ap)
+	ap.StartAdvertising(Advertisement{Net: 10}, sim.Second, sim.Second)
+	// Blackout covers t in (1.5s, 3.5s): beacons at 2s and 3s are missed.
+	e.Schedule(1500*sim.Millisecond, func() { st.SwitchTo(ap) })
+	if err := e.Run(4500 * sim.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ap.StopAdvertising()
+	if heard != 2 { // t=1s and t=4s
+		t.Fatalf("heard = %d beacons, want 2", heard)
+	}
+}
+
+func TestSharedDownlinkSerializes(t *testing.T) {
+	w := newTestWLAN(t, Fixed(10))
+	addr := inet.Addr{Net: 10, Host: 5}
+	w.station.AddAddr(addr)
+	w.station.Associate(w.ap)
+
+	var arrivals []sim.Time
+	w.station.OnPacket = func(pkt *inet.Packet) { arrivals = append(arrivals, w.engine.Now()) }
+
+	// Two 1375-byte packets at 11 Mb/s take 1 ms each to serialize; with
+	// 1 ms air delay they arrive at 2 ms and 3 ms when injected directly.
+	w.ap.HandlePacket(nil, &inet.Packet{Dst: addr, Proto: inet.ProtoUDP, Size: 1375})
+	w.ap.HandlePacket(nil, &inet.Packet{Dst: addr, Proto: inet.ProtoUDP, Size: 1375})
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	want := []sim.Time{2 * sim.Millisecond, 3 * sim.Millisecond}
+	if len(arrivals) != 2 || arrivals[0] != want[0] || arrivals[1] != want[1] {
+		t.Fatalf("arrivals = %v, want %v", arrivals, want)
+	}
+}
+
+func TestStationAddressFilter(t *testing.T) {
+	w := newTestWLAN(t, Fixed(10))
+	mine := inet.Addr{Net: 10, Host: 5}
+	other := inet.Addr{Net: 10, Host: 6}
+	w.station.AddAddr(mine)
+	w.station.Associate(w.ap)
+
+	received := 0
+	w.station.OnPacket = func(pkt *inet.Packet) { received++ }
+	w.ap.HandlePacket(nil, &inet.Packet{Dst: other, Proto: inet.ProtoUDP, Size: 64})
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if received != 0 || w.ap.AirDrops() != 1 {
+		t.Fatalf("received=%d drops=%d, want 0/1", received, w.ap.AirDrops())
+	}
+
+	w.station.RemoveAddr(mine)
+	if w.station.HasAddr(mine) {
+		t.Fatal("RemoveAddr did not remove")
+	}
+}
+
+func TestTwoStationsOnOneAP(t *testing.T) {
+	w := newTestWLAN(t, Fixed(10))
+	addr1 := inet.Addr{Net: 10, Host: 5}
+	addr2 := inet.Addr{Net: 10, Host: 6}
+	w.station.AddAddr(addr1)
+	w.station.Associate(w.ap)
+
+	st2 := NewStation("mh2", w.medium, Fixed(20), StationConfig{})
+	st2.AddAddr(addr2)
+	st2.Associate(w.ap)
+
+	got1, got2 := 0, 0
+	w.station.OnPacket = func(pkt *inet.Packet) { got1++ }
+	st2.OnPacket = func(pkt *inet.Packet) { got2++ }
+
+	w.ap.HandlePacket(nil, &inet.Packet{Dst: addr2, Proto: inet.ProtoUDP, Size: 64})
+	w.ap.HandlePacket(nil, &inet.Packet{Dst: addr1, Proto: inet.ProtoUDP, Size: 64})
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if got1 != 1 || got2 != 1 {
+		t.Fatalf("got1=%d got2=%d, want 1/1", got1, got2)
+	}
+}
+
+func TestAPCovers(t *testing.T) {
+	e := sim.NewEngine()
+	medium := NewMedium(e)
+	ap := NewAccessPoint("ap", medium, APConfig{Pos: 100, Radius: 112})
+	tests := []struct {
+		pos  float64
+		want bool
+	}{
+		{100, true},
+		{-12, true},
+		{212, true},
+		{-12.5, false},
+		{212.5, false},
+	}
+	for _, tt := range tests {
+		if got := ap.Covers(tt.pos); got != tt.want {
+			t.Errorf("Covers(%v) = %v, want %v", tt.pos, got, tt.want)
+		}
+	}
+}
+
+func TestReturnUndeliverableBouncesOnce(t *testing.T) {
+	e := sim.NewEngine()
+	topo := netsim.NewTopology(e)
+	medium := NewMedium(e)
+	ar := netsim.NewRouter("ar", inet.Addr{Net: 10, Host: 1})
+	ap := NewAccessPoint("ap", medium, APConfig{
+		Pos: 0, Radius: 112, ReturnUndeliverable: true,
+	})
+	link := topo.Connect(ar, ap, netsim.LinkConfig{})
+	ar.AddPrefixRoute(10, link.A())
+
+	addr := inet.Addr{Net: 10, Host: 5}
+	// No station: first transmission bounces back to the router, which
+	// forwards it out again; the second failure is a real air drop.
+	returned := 0
+	ar.Intercept = func(in *netsim.Iface, pkt *inet.Packet) bool {
+		if pkt.Requeued {
+			returned++
+		}
+		return false
+	}
+	ap.HandlePacket(nil, &inet.Packet{Dst: addr, Proto: inet.ProtoUDP, Size: 64})
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if returned != 1 {
+		t.Fatalf("frame returned %d times, want 1", returned)
+	}
+	if ap.AirDrops() != 1 {
+		t.Fatalf("AirDrops = %d, want 1 (dropped on second failure)", ap.AirDrops())
+	}
+}
+
+func TestUplinkQueueOverflow(t *testing.T) {
+	e := sim.NewEngine()
+	topo := netsim.NewTopology(e)
+	medium := NewMedium(e)
+	ar := netsim.NewRouter("ar", inet.Addr{Net: 10, Host: 1})
+	ap := NewAccessPoint("ap", medium, APConfig{Pos: 0, Radius: 112})
+	topo.Connect(ar, ap, netsim.LinkConfig{})
+	// Slow uplink with a 2-packet queue.
+	st := NewStation("mh", medium, Fixed(0), StationConfig{
+		BandwidthBPS: 1_000_000, QueueLimit: 2,
+	})
+	st.AddAddr(inet.Addr{Net: 10, Host: 5})
+	st.Associate(ap)
+
+	got := 0
+	ar.LocalDeliver = func(in *netsim.Iface, pkt *inet.Packet) bool { got++; return true }
+	// One transmitting + two queued; the rest overflow.
+	for i := 0; i < 6; i++ {
+		st.Send(&inet.Packet{Src: inet.Addr{Net: 10, Host: 5}, Dst: ar.Addr(),
+			Proto: inet.ProtoControl, Size: 1250})
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if got != 3 {
+		t.Fatalf("delivered = %d, want 3", got)
+	}
+	if st.TxDrops() != 3 {
+		t.Fatalf("TxDrops = %d, want 3", st.TxDrops())
+	}
+}
+
+func TestDetachFlushesUplinkQueue(t *testing.T) {
+	e := sim.NewEngine()
+	topo := netsim.NewTopology(e)
+	medium := NewMedium(e)
+	ar := netsim.NewRouter("ar", inet.Addr{Net: 10, Host: 1})
+	ap := NewAccessPoint("ap", medium, APConfig{Pos: 0, Radius: 112})
+	topo.Connect(ar, ap, netsim.LinkConfig{})
+	st := NewStation("mh", medium, Fixed(0), StationConfig{BandwidthBPS: 1_000_000})
+	st.Associate(ap)
+
+	// Queue three slow frames, then detach mid-transmission: the frame on
+	// the air survives (best effort), the queued ones are flushed.
+	for i := 0; i < 3; i++ {
+		st.Send(&inet.Packet{Dst: ar.Addr(), Proto: inet.ProtoControl, Size: 1250})
+	}
+	e.Schedule(5*sim.Millisecond, st.Detach)
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if st.TxDrops() != 2 {
+		t.Fatalf("TxDrops = %d, want 2 (queue flushed on detach)", st.TxDrops())
+	}
+	if st.Switching() {
+		t.Fatal("Detach must not mark the station as switching")
+	}
+	if st.CanReceive() {
+		t.Fatal("detached station can receive")
+	}
+}
+
+func TestStationPositionAndName(t *testing.T) {
+	e := sim.NewEngine()
+	medium := NewMedium(e)
+	st := NewStation("mh-x", medium, Linear{Start: 5, Speed: 2}, StationConfig{})
+	if st.Name() != "mh-x" {
+		t.Fatalf("Name = %q", st.Name())
+	}
+	if got := st.Pos(2 * sim.Second); got != 9 {
+		t.Fatalf("Pos(2s) = %v, want 9", got)
+	}
+	if len(medium.APs()) != 0 {
+		t.Fatal("unexpected APs")
+	}
+	if medium.Engine() != e {
+		t.Fatal("Engine() wrong")
+	}
+}
