@@ -7,10 +7,13 @@ package repro_test
 // from `go run ./cmd/experiments`.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -243,6 +246,41 @@ func BenchmarkTransferTime(b *testing.B) {
 	b.ReportMetric(unbuffered.Seconds(), "unbuffered-s")
 	b.ReportMetric((unbuffered - buffered).Seconds(), "stall-cost-s")
 }
+
+// --- Monte-Carlo runner benchmarks ---
+
+// benchRunnerPool fans replicasPerOp seeded replicas of the mobility
+// ladder across the given worker bound. Comparing the Serial and
+// Parallel variants measures the pool's actual speedup (≈ min(cores,
+// replicas)× on a multi-core box; ≈ 1× on one core).
+func benchRunnerPool(b *testing.B, workers int) {
+	b.Helper()
+	const replicasPerOp = 8
+	spec := scenario.BaselineSpec()
+	pool := runner.NewPool(workers)
+	b.ResetTimer()
+	var res *runner.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = pool.Run(context.Background(), spec, replicasPerOp, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := res.Failed(); n > 0 {
+			b.Fatalf("%d replicas failed: %v", n, res.FirstErr())
+		}
+	}
+	for _, m := range res.Metrics {
+		if m.Name == "lost_enhanced" {
+			b.ReportMetric(m.Mean, "enhanced-lost-mean")
+			b.ReportMetric(m.CI95, "enhanced-lost-ci95")
+		}
+	}
+}
+
+func BenchmarkRunnerSerial(b *testing.B) { benchRunnerPool(b, 1) }
+
+func BenchmarkRunnerParallel(b *testing.B) { benchRunnerPool(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkAblationSignaling reports the control-message economy: the
 // scheme piggybacks its options, so an anticipated handoff costs a fixed,

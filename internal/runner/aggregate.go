@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// MetricSummary is one metric's distribution across the successful
+// replicas of a run.
+type MetricSummary struct {
+	Name string `json:"name"`
+	// N is the number of replicas that reported the metric.
+	N int `json:"n"`
+	// Mean, StdDev (population), CI95 (normal-approximation half-width of
+	// the 95% confidence interval of the mean), Min and Max summarize the
+	// distribution.
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	CI95   float64 `json:"ci95"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Aggregate merges the successful replicas' metrics into per-metric
+// summaries, sorted by metric name for deterministic output. Failed
+// replicas (non-nil Err or recorded Error) are skipped; a metric missing
+// from some replicas is summarized over the replicas that reported it.
+func Aggregate(replicas []Replica) []MetricSummary {
+	byName := make(map[string]*stats.Summary)
+	for _, rep := range replicas {
+		if rep.Err != nil || rep.Error != "" {
+			continue
+		}
+		for name, v := range rep.Metrics {
+			s, ok := byName[name]
+			if !ok {
+				s = &stats.Summary{}
+				byName[name] = s
+			}
+			s.Add(v)
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]MetricSummary, 0, len(names))
+	for _, name := range names {
+		s := byName[name]
+		out = append(out, MetricSummary{
+			Name:   name,
+			N:      s.N(),
+			Mean:   s.Mean(),
+			StdDev: s.StdDev(),
+			CI95:   s.CI95(),
+			Min:    s.Min(),
+			Max:    s.Max(),
+		})
+	}
+	return out
+}

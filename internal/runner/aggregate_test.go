@@ -1,0 +1,80 @@
+package runner
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregate(t *testing.T) {
+	reps := []Replica{
+		{Index: 0, Metrics: Metrics{"lost": 10, "outage": 200}},
+		{Index: 1, Metrics: Metrics{"lost": 14, "outage": 220}},
+		{Index: 2, Metrics: Metrics{"lost": 12, "outage": 210}},
+		{Index: 3, Err: errPanic{v: "boom"}, Error: "replica panicked: boom"},
+	}
+	got := Aggregate(reps)
+	if len(got) != 2 {
+		t.Fatalf("metrics = %d, want 2", len(got))
+	}
+	// Sorted by name: lost before outage.
+	lost := got[0]
+	if lost.Name != "lost" || got[1].Name != "outage" {
+		t.Fatalf("order = %q, %q; want lost, outage", got[0].Name, got[1].Name)
+	}
+	if lost.N != 3 {
+		t.Errorf("lost.N = %d, want 3 (failed replica must be skipped)", lost.N)
+	}
+	if lost.Mean != 12 || lost.Min != 10 || lost.Max != 14 {
+		t.Errorf("lost mean/min/max = %g/%g/%g", lost.Mean, lost.Min, lost.Max)
+	}
+	// Population sd of {10,12,14} = sqrt(8/3); sample sd = 2;
+	// CI95 = 1.96*2/sqrt(3).
+	if want := math.Sqrt(8.0 / 3.0); math.Abs(lost.StdDev-want) > 1e-12 {
+		t.Errorf("lost.StdDev = %g, want %g", lost.StdDev, want)
+	}
+	if want := 1.96 * 2 / math.Sqrt(3); math.Abs(lost.CI95-want) > 1e-12 {
+		t.Errorf("lost.CI95 = %g, want %g", lost.CI95, want)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if got := Aggregate(nil); len(got) != 0 {
+		t.Fatalf("Aggregate(nil) = %+v", got)
+	}
+	if got := Aggregate([]Replica{{Err: errPanic{v: 1}, Error: "x"}}); len(got) != 0 {
+		t.Fatalf("all-failed aggregate = %+v", got)
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	doc := NewDocument("experiments", 9, 4, 2)
+	doc.Results = []Result{{
+		Spec:     "baseline",
+		RootSeed: 9,
+		Replicas: []Replica{{Index: 0, Seed: ReplicaSeed(9, 0), Metrics: Metrics{"lost": 1}, WallMS: 3.5}},
+		Metrics:  []MetricSummary{{Name: "lost", N: 1, Mean: 1, Min: 1, Max: 1}},
+	}}
+	var buf bytes.Buffer
+	if err := doc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema": 1`) {
+		t.Fatalf("schema version missing:\n%s", buf.String())
+	}
+	back, err := DecodeDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion || back.RootSeed != 9 || len(back.Results) != 1 {
+		t.Fatalf("round trip mangled document: %+v", back)
+	}
+	if back.Results[0].Replicas[0].WallMS != 3.5 {
+		t.Fatalf("wall time lost in round trip")
+	}
+	back.Canonicalize()
+	if back.Results[0].Replicas[0].WallMS != 0 || back.StartedUnixMS != 0 {
+		t.Fatalf("Canonicalize left timing fields: %+v", back)
+	}
+}

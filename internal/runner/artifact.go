@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// SchemaVersion identifies the artifact layout. Bump on any
+// field-breaking change so downstream tooling can dispatch.
+const SchemaVersion = 1
+
+// Document is the machine-readable result of one runner invocation: one
+// Result per spec plus the run's configuration. Everything except the
+// timing fields (wall_ms, elapsed_ms, started_unix_ms) is a pure
+// function of (specs, root seed, replica count), so two documents from
+// the same inputs are byte-identical after Canonicalize.
+type Document struct {
+	Schema   int    `json:"schema"`
+	Tool     string `json:"tool"`
+	RootSeed int64  `json:"root_seed"`
+	Replicas int    `json:"replicas"`
+	// Parallel is the worker bound the run used. It does not affect any
+	// non-timing field.
+	Parallel int `json:"parallel"`
+	// StartedUnixMS and ElapsedMS are timing fields.
+	StartedUnixMS int64    `json:"started_unix_ms"`
+	ElapsedMS     float64  `json:"elapsed_ms"`
+	Results       []Result `json:"results"`
+}
+
+// NewDocument stamps a document for a run configuration.
+func NewDocument(tool string, rootSeed int64, replicas, parallel int) *Document {
+	return &Document{
+		Schema:        SchemaVersion,
+		Tool:          tool,
+		RootSeed:      rootSeed,
+		Replicas:      replicas,
+		Parallel:      parallel,
+		StartedUnixMS: time.Now().UnixMilli(),
+	}
+}
+
+// Canonicalize zeroes every timing field and the worker bound, leaving
+// only the deterministic content — the form determinism tests and
+// cache keys should compare.
+func (d *Document) Canonicalize() {
+	d.StartedUnixMS = 0
+	d.ElapsedMS = 0
+	d.Parallel = 0
+	for i := range d.Results {
+		for j := range d.Results[i].Replicas {
+			d.Results[i].Replicas[j].Wall = 0
+			d.Results[i].Replicas[j].WallMS = 0
+		}
+	}
+}
+
+// Encode writes the document as indented JSON.
+func (d *Document) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// DecodeDocument parses a document produced by Encode.
+func DecodeDocument(r io.Reader) (*Document, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

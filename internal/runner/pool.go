@@ -1,0 +1,157 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Replica is one replica's outcome.
+type Replica struct {
+	// Index is the replica number, 0-based.
+	Index int `json:"replica"`
+	// Seed is the derived per-replica seed (see ReplicaSeed).
+	Seed int64 `json:"seed"`
+	// Metrics holds the headline scalars; nil when the replica failed.
+	Metrics Metrics `json:"metrics,omitempty"`
+	// Err is the replica's failure (captured panic, spec error, or
+	// cancellation); nil on success. Serialized as the Error string.
+	Err error `json:"-"`
+	// Error mirrors Err for the JSON artifact.
+	Error string `json:"error,omitempty"`
+	// Wall is the replica's wall-clock duration — a timing field, excluded
+	// from determinism comparisons.
+	Wall time.Duration `json:"-"`
+	// WallMS mirrors Wall for the JSON artifact.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Result is one spec's full fan-out: every replica in index order plus
+// the aggregated metric summaries.
+type Result struct {
+	Spec     string          `json:"spec"`
+	RootSeed int64           `json:"root_seed"`
+	Replicas []Replica       `json:"replicas"`
+	Metrics  []MetricSummary `json:"metrics"`
+}
+
+// Failed returns the number of replicas that ended in error.
+func (r *Result) Failed() int {
+	n := 0
+	for _, rep := range r.Replicas {
+		if rep.Err != nil || rep.Error != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstErr returns the lowest-index replica error, or nil.
+func (r *Result) FirstErr() error {
+	for _, rep := range r.Replicas {
+		if rep.Err != nil {
+			return rep.Err
+		}
+	}
+	return nil
+}
+
+// Pool runs replicas across a bounded set of worker goroutines.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given worker bound. Non-positive
+// selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run fans out replicas of the spec, each under its derived seed, and
+// returns every replica in index order with aggregated metrics. A replica
+// that panics or returns an error is recorded as failed without
+// disturbing its siblings. When ctx is cancelled, replicas not yet
+// started are marked with the context's error; in-flight replicas finish
+// (the single-threaded simulation engine has no preemption point).
+// The returned error is non-nil only for invalid arguments.
+func (p *Pool) Run(ctx context.Context, spec Spec, replicas int, rootSeed int64) (*Result, error) {
+	if spec == nil {
+		return nil, errors.New("runner: nil spec")
+	}
+	if replicas < 1 {
+		return nil, errors.New("runner: replicas must be ≥ 1")
+	}
+	res := &Result{
+		Spec:     spec.Name(),
+		RootSeed: rootSeed,
+		Replicas: make([]Replica, replicas),
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > replicas {
+		workers = replicas
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res.Replicas[idx] = runOne(spec, idx, rootSeed)
+			}
+		}()
+	}
+
+feed:
+	for idx := 0; idx < replicas; idx++ {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			for ; idx < replicas; idx++ {
+				res.Replicas[idx] = Replica{
+					Index: idx,
+					Seed:  ReplicaSeed(rootSeed, idx),
+					Err:   ctx.Err(),
+					Error: ctx.Err().Error(),
+				}
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	res.Metrics = Aggregate(res.Replicas)
+	return res, nil
+}
+
+// runOne executes a single replica, converting a panic into that
+// replica's error.
+func runOne(spec Spec, idx int, rootSeed int64) (rep Replica) {
+	rep.Index = idx
+	rep.Seed = ReplicaSeed(rootSeed, idx)
+	start := time.Now()
+	defer func() {
+		rep.Wall = time.Since(start)
+		rep.WallMS = float64(rep.Wall) / float64(time.Millisecond)
+		if v := recover(); v != nil {
+			rep.Err = errPanic{v: v}
+			rep.Error = rep.Err.Error()
+			rep.Metrics = nil
+		}
+		if rep.Err != nil && rep.Error == "" {
+			rep.Error = rep.Err.Error()
+		}
+	}()
+	rep.Metrics, rep.Err = spec.Run(rep.Seed)
+	return rep
+}

@@ -1,0 +1,181 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSpec reports metrics that are a pure function of the seed, like a
+// real simulation replica.
+func fakeSpec() Spec {
+	return Simple("fake", func(seed int64) Metrics {
+		return Metrics{
+			"seed_mod":  float64(seed % 1000),
+			"seed_sign": 1,
+		}
+	})
+}
+
+func TestPoolDeterministicAcrossWorkerCounts(t *testing.T) {
+	const replicas = 17
+	encode := func(workers int) []byte {
+		res, err := NewPool(workers).Run(context.Background(), fakeSpec(), replicas, 42)
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		doc := NewDocument("test", 42, replicas, workers)
+		doc.ElapsedMS = 1234 // will be stripped
+		doc.Results = append(doc.Results, *res)
+		doc.Canonicalize()
+		var buf bytes.Buffer
+		if err := doc.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	for _, workers := range []int{2, 8} {
+		if got := encode(workers); !bytes.Equal(serial, got) {
+			t.Errorf("workers=%d artifact differs from serial:\n%s\nvs\n%s", workers, got, serial)
+		}
+	}
+}
+
+func TestPoolReplicaOrderAndSeeds(t *testing.T) {
+	res, err := NewPool(4).Run(context.Background(), fakeSpec(), 9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replicas) != 9 {
+		t.Fatalf("replicas = %d, want 9", len(res.Replicas))
+	}
+	for i, rep := range res.Replicas {
+		if rep.Index != i {
+			t.Errorf("replica %d has index %d", i, rep.Index)
+		}
+		if want := ReplicaSeed(7, i); rep.Seed != want {
+			t.Errorf("replica %d seed = %d, want %d", i, rep.Seed, want)
+		}
+		if rep.Err != nil {
+			t.Errorf("replica %d failed: %v", i, rep.Err)
+		}
+	}
+}
+
+func TestPoolPanicIsolated(t *testing.T) {
+	// One replica panics; its siblings must complete and the process must
+	// survive.
+	var bomb int64 // which replica index panics: derived below
+	spec := NewSpec("panicky", func(seed int64) (Metrics, error) {
+		if seed == atomic.LoadInt64(&bomb) {
+			panic(fmt.Sprintf("boom at seed %d", seed))
+		}
+		return Metrics{"ok": 1}, nil
+	})
+	atomic.StoreInt64(&bomb, ReplicaSeed(3, 5))
+
+	res, err := NewPool(4).Run(context.Background(), spec, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Failed(); got != 1 {
+		t.Fatalf("failed = %d, want 1", got)
+	}
+	for i, rep := range res.Replicas {
+		if i == 5 {
+			if rep.Err == nil || !strings.Contains(rep.Error, "boom") {
+				t.Fatalf("replica 5: err = %v (%q), want captured panic", rep.Err, rep.Error)
+			}
+			if rep.Metrics != nil {
+				t.Fatalf("replica 5 kept metrics %v after panicking", rep.Metrics)
+			}
+			continue
+		}
+		if rep.Err != nil {
+			t.Errorf("sibling replica %d failed: %v", i, rep.Err)
+		}
+	}
+	// The aggregate covers only the survivors.
+	if len(res.Metrics) != 1 || res.Metrics[0].N != 11 {
+		t.Fatalf("aggregate = %+v, want ok over 11 replicas", res.Metrics)
+	}
+}
+
+func TestPoolSpecError(t *testing.T) {
+	boom := errors.New("spec refused")
+	spec := NewSpec("failing", func(seed int64) (Metrics, error) { return nil, boom })
+	res, err := NewPool(2).Run(context.Background(), spec, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() != 3 {
+		t.Fatalf("failed = %d, want 3", res.Failed())
+	}
+	if !errors.Is(res.FirstErr(), boom) {
+		t.Fatalf("FirstErr = %v, want %v", res.FirstErr(), boom)
+	}
+	if len(res.Metrics) != 0 {
+		t.Fatalf("metrics = %+v, want none", res.Metrics)
+	}
+}
+
+func TestPoolContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	spec := NewSpec("slow", func(seed int64) (Metrics, error) {
+		if started.Add(1) == 1 {
+			cancel() // cancel while the first replica is in flight
+		}
+		<-release
+		return Metrics{"done": 1}, nil
+	})
+	// Hold the in-flight replica until well after the feeder has observed
+	// the cancellation, so the tail is deterministically never started.
+	go func() {
+		<-ctx.Done()
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	res, err := NewPool(1).Run(ctx, spec, 8, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The in-flight replica finishes; the never-started tail carries the
+	// context error.
+	if res.Replicas[0].Err != nil {
+		t.Fatalf("in-flight replica failed: %v", res.Replicas[0].Err)
+	}
+	if res.Failed() == 0 {
+		t.Fatal("cancelled run reported no failed replicas")
+	}
+	for _, rep := range res.Replicas {
+		if rep.Err != nil && !errors.Is(rep.Err, context.Canceled) {
+			t.Errorf("replica %d: err = %v, want context.Canceled", rep.Index, rep.Err)
+		}
+	}
+}
+
+func TestPoolInvalidArgs(t *testing.T) {
+	if _, err := NewPool(1).Run(context.Background(), nil, 1, 1); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := NewPool(1).Run(context.Background(), fakeSpec(), 0, 1); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Error("NewPool(0) has no workers")
+	}
+	if NewPool(3).Workers() != 3 {
+		t.Error("NewPool(3) ignored the bound")
+	}
+}

@@ -1,0 +1,67 @@
+// Package runner fans independent Monte-Carlo replicas of a simulation
+// scenario across a bounded worker pool and aggregates their headline
+// metrics into distribution summaries (mean, standard deviation, 95%
+// confidence interval, min, max).
+//
+// The package is deliberately scenario-agnostic: anything that can run
+// once under a caller-chosen seed and report scalar metrics implements
+// Spec. Each replica's seed is derived from the pool's root seed with a
+// splitmix64 mix of the replica index (see ReplicaSeed), so a run's
+// results are bit-for-bit reproducible regardless of worker count,
+// scheduling, or completion order — `-parallel 1` and `-parallel 8`
+// produce identical aggregates.
+//
+// A panicking replica is captured and reported as that replica's error;
+// sibling replicas keep running and the process survives.
+package runner
+
+import "fmt"
+
+// Metrics is one replica's headline scalar results, keyed by metric name.
+// Every replica of a spec should report the same key set.
+type Metrics map[string]float64
+
+// Spec is one runnable scenario. Run must be safe for concurrent use by
+// multiple goroutines (each call builds its own engine and RNG from the
+// seed) and must be a pure function of the seed: same seed, same metrics.
+type Spec interface {
+	// Name identifies the spec in aggregates and artifacts.
+	Name() string
+	// Run executes one replica under the given seed.
+	Run(seed int64) (Metrics, error)
+}
+
+// specFunc adapts a plain function to Spec.
+type specFunc struct {
+	name string
+	run  func(seed int64) (Metrics, error)
+}
+
+func (s specFunc) Name() string { return s.name }
+
+func (s specFunc) Run(seed int64) (Metrics, error) { return s.run(seed) }
+
+// NewSpec wraps a seedable function as a Spec.
+func NewSpec(name string, run func(seed int64) (Metrics, error)) Spec {
+	if name == "" {
+		panic("runner: NewSpec with empty name")
+	}
+	if run == nil {
+		panic("runner: NewSpec with nil run function")
+	}
+	return specFunc{name: name, run: run}
+}
+
+// Simple wraps a function that cannot fail (the common case for the
+// in-process simulation scenarios, whose failure mode is a panic — which
+// the pool captures) as a Spec.
+func Simple(name string, run func(seed int64) Metrics) Spec {
+	return NewSpec(name, func(seed int64) (Metrics, error) {
+		return run(seed), nil
+	})
+}
+
+// errPanic marks a replica that panicked, preserving the panic value.
+type errPanic struct{ v any }
+
+func (e errPanic) Error() string { return fmt.Sprintf("replica panicked: %v", e.v) }

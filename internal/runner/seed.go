@@ -1,0 +1,39 @@
+package runner
+
+// Per-replica seed derivation. Replica seeds must be (a) a pure function
+// of (root seed, replica index) so any worker can compute them in any
+// order, (b) well-spread even for adjacent roots and indices (the sim
+// RNG is a linear generator; feeding it 1, 2, 3… would correlate
+// replicas), and (c) never zero, because the scenario packages treat a
+// zero seed as "use the thesis default".
+//
+// splitmix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+// generators", OOPSLA 2014) is the standard answer: a Weyl sequence on
+// the golden-ratio increment followed by a finalizing mix. It is also
+// what math/rand/v2 uses to seed PCG from two words.
+
+// golden is ⌊2⁶⁴/φ⌋, the splitmix64 Weyl increment.
+const golden = 0x9E3779B97F4A7C15
+
+// splitmix64 is the finalizing mix of the splitmix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += golden
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ReplicaSeed derives the seed for one replica of a run rooted at root.
+// The result is always positive (the sim RNG takes an int64 and the
+// scenarios reserve zero for defaults).
+func ReplicaSeed(root int64, replica int) int64 {
+	x := splitmix64(uint64(root) + uint64(replica)*golden)
+	seed := int64(x &^ (1 << 63)) // clear the sign bit
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

@@ -1,11 +1,13 @@
 package scenario
 
 import (
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -136,33 +138,39 @@ func TestRenderers(t *testing.T) {
 }
 
 func TestSweeps(t *testing.T) {
-	fig42 := SweepFig42(3, Fig42Params{MaxHosts: 10})
-	if len(fig42) != 3 {
-		t.Fatalf("fig42 sweep rows = %d", len(fig42))
+	pool := runner.NewPool(2)
+	fig42, err := pool.Run(context.Background(), Fig42Spec(Fig42Params{MaxHosts: 10}), 3, 1)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, r := range fig42 {
-		if r.Summary.N() != 3 {
-			t.Errorf("%s: n = %d, want 3", r.Metric, r.Summary.N())
+	if fig42.Failed() != 0 {
+		t.Fatalf("fig4.2 replicas failed: %v", fig42.FirstErr())
+	}
+	byName := make(map[string]runner.MetricSummary)
+	for _, m := range fig42.Metrics {
+		if m.N != 3 {
+			t.Errorf("%s: n = %d, want 3", m.Name, m.N)
 		}
+		byName[m.Name] = m
 	}
 	// The structural claims hold at every seed: DUAL ≈ 2× NAR.
-	nar, dual := fig42[0].Summary, fig42[2].Summary
-	if dual.Mean() < 1.8*nar.Mean() {
-		t.Errorf("dual mean %.1f < 1.8× nar mean %.1f", dual.Mean(), nar.Mean())
+	nar, dual := byName["capacity_nar"], byName["capacity_dual"]
+	if dual.Mean < 1.8*nar.Mean {
+		t.Errorf("dual mean %.1f < 1.8× nar mean %.1f", dual.Mean, nar.Mean)
 	}
 
-	ladder := SweepBaseline(2)
-	if len(ladder) != 4 {
-		t.Fatalf("ladder sweep rows = %d", len(ladder))
+	ladder, err := pool.Run(context.Background(), BaselineSpec(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ladder.Failed() != 0 {
+		t.Fatalf("ladder replicas failed: %v", ladder.FirstErr())
 	}
 	// Enhanced rung loses nothing at any seed.
-	if last := ladder[len(ladder)-1].Summary; last.Max() != 0 {
-		t.Errorf("enhanced rung lost up to %g packets across seeds", last.Max())
-	}
-
-	out := RenderSweep(fig42)
-	if !strings.Contains(out, "±") {
-		t.Error("RenderSweep missing ± column")
+	for _, m := range ladder.Metrics {
+		if m.Name == "lost_enhanced" && m.Max != 0 {
+			t.Errorf("enhanced rung lost up to %g packets across seeds", m.Max)
+		}
 	}
 }
 

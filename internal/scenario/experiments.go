@@ -16,114 +16,128 @@ type Experiment struct {
 	ID string
 	// Title summarizes what the figure shows.
 	Title string
-	// Run executes the experiment and returns a renderable result.
+	// Run executes the experiment under the thesis' default seed and
+	// returns a renderable result. It is RunSeeded(0).
 	Run func() Renderer
+	// RunSeeded executes the experiment under a caller-chosen seed, for
+	// the Monte-Carlo runner. Seed 0 selects the thesis default (seed 1),
+	// keeping the canonical outputs identical.
+	RunSeeded func(seed int64) Renderer
 }
 
 // Experiments lists every reproduced figure in thesis order.
 func Experiments() []Experiment {
-	return []Experiment{
+	exps := []Experiment{
 		{
-			ID:    "4.2",
-			Title: "Buffer utilization of different handoff mechanisms",
-			Run:   func() Renderer { return RunFig42(Fig42Params{}) },
+			ID:        "4.2",
+			Title:     "Buffer utilization of different handoff mechanisms",
+			RunSeeded: func(seed int64) Renderer { return RunFig42(Fig42Params{Seed: seed}) },
 		},
 		{
 			ID:    "4.3",
 			Title: "Packet drop rate, original fast handover (buffer=40)",
-			Run: func() Renderer {
+			RunSeeded: func(seed int64) Renderer {
 				return RunDropTrace(DropTraceParams{
-					Scheme: core.SchemeFHOriginal, PoolSize: 40, Handoffs: 100,
+					Scheme: core.SchemeFHOriginal, PoolSize: 40, Handoffs: 100, Seed: seed,
 				})
 			},
 		},
 		{
 			ID:    "4.4",
 			Title: "Packet drop rate, proposed method, classification disabled (buffer=20)",
-			Run: func() Renderer {
+			RunSeeded: func(seed int64) Renderer {
 				return RunDropTrace(DropTraceParams{
-					Scheme: core.SchemeDual, PoolSize: 20, Handoffs: 100,
+					Scheme: core.SchemeDual, PoolSize: 20, Handoffs: 100, Seed: seed,
 				})
 			},
 		},
 		{
 			ID:    "4.5",
 			Title: "Packet drop rate, proposed method, classification enabled (buffer=20)",
-			Run: func() Renderer {
+			RunSeeded: func(seed int64) Renderer {
 				return RunDropTrace(DropTraceParams{
-					Scheme: core.SchemeEnhanced, PoolSize: 20, Alpha: 6, Handoffs: 100,
+					Scheme: core.SchemeEnhanced, PoolSize: 20, Alpha: 6, Handoffs: 100, Seed: seed,
 				})
 			},
 		},
 		{
-			ID:    "4.6",
-			Title: "Packet loss for different data rates, proposed method",
-			Run:   func() Renderer { return RunFig46(Fig46Params{}) },
+			ID:        "4.6",
+			Title:     "Packet loss for different data rates, proposed method",
+			RunSeeded: func(seed int64) Renderer { return RunFig46(Fig46Params{Seed: seed}) },
 		},
 		{
 			ID:    "4.7",
 			Title: "End-to-end delay, original fast handover (buffer=40)",
-			Run: func() Renderer {
+			RunSeeded: func(seed int64) Renderer {
 				return RunDelayTrace(DelayTraceParams{
-					Scheme: core.SchemeFHOriginal, PoolSize: 40,
+					Scheme: core.SchemeFHOriginal, PoolSize: 40, Seed: seed,
 				})
 			},
 		},
 		{
 			ID:    "4.8",
 			Title: "End-to-end delay, proposed method, classification disabled (buffer=20)",
-			Run: func() Renderer {
+			RunSeeded: func(seed int64) Renderer {
 				return RunDelayTrace(DelayTraceParams{
-					Scheme: core.SchemeDual, PoolSize: 20,
+					Scheme: core.SchemeDual, PoolSize: 20, Seed: seed,
 				})
 			},
 		},
 		{
 			ID:    "4.9",
 			Title: "End-to-end delay, classification enabled, 2 ms AR link",
-			Run: func() Renderer {
+			RunSeeded: func(seed int64) Renderer {
 				return RunDelayTrace(DelayTraceParams{
 					Scheme: core.SchemeEnhanced, PoolSize: 60, Alpha: 2,
-					ARLinkDelay: 2 * sim.Millisecond,
+					ARLinkDelay: 2 * sim.Millisecond, Seed: seed,
 				})
 			},
 		},
 		{
 			ID:    "4.10",
 			Title: "End-to-end delay, classification enabled, 50 ms AR link",
-			Run: func() Renderer {
+			RunSeeded: func(seed int64) Renderer {
 				return RunDelayTrace(DelayTraceParams{
 					Scheme: core.SchemeEnhanced, PoolSize: 60, Alpha: 2,
-					ARLinkDelay: 50 * sim.Millisecond,
+					ARLinkDelay: 50 * sim.Millisecond, Seed: seed,
 				})
 			},
 		},
 		{
 			ID:    "4.12",
 			Title: "TCP sequence during a link-layer handoff, without buffering",
-			Run:   func() Renderer { return RunTCPTrace(TCPTraceParams{Buffered: false}) },
+			RunSeeded: func(seed int64) Renderer {
+				return RunTCPTrace(TCPTraceParams{Buffered: false, Seed: seed})
+			},
 		},
 		{
 			ID:    "4.13",
 			Title: "TCP sequence during a link-layer handoff, proposed method",
-			Run:   func() Renderer { return RunTCPTrace(TCPTraceParams{Buffered: true}) },
+			RunSeeded: func(seed int64) Renderer {
+				return RunTCPTrace(TCPTraceParams{Buffered: true, Seed: seed})
+			},
 		},
 		{
-			ID:    "4.14",
-			Title: "TCP throughput during a link-layer handoff",
-			Run:   func() Renderer { return RunFig414() },
+			ID:        "4.14",
+			Title:     "TCP throughput during a link-layer handoff",
+			RunSeeded: func(seed int64) Renderer { return RunFig414Seeded(seed) },
 		},
 		{
-			ID:    "baseline",
-			Title: "Chapter 2 motivation: the mobility-management ladder",
-			Run:   func() Renderer { return RunBaseline() },
+			ID:        "baseline",
+			Title:     "Chapter 2 motivation: the mobility-management ladder",
+			RunSeeded: func(seed int64) Renderer { return RunBaselineSeed(seed) },
 		},
 		{
-			ID:    "latency",
-			Title: "Handover latency breakdown (reference [12] analysis style)",
-			Run:   func() Renderer { return RunLatencyBreakdown(10, 1) },
+			ID:        "latency",
+			Title:     "Handover latency breakdown (reference [12] analysis style)",
+			RunSeeded: func(seed int64) Renderer { return RunLatencyBreakdown(10, seed) },
 		},
 	}
+	for i := range exps {
+		runSeeded := exps[i].RunSeeded
+		exps[i].Run = func() Renderer { return runSeeded(0) }
+	}
+	return exps
 }
 
 // Fig414Result pairs the buffered and unbuffered throughput series.
@@ -132,11 +146,15 @@ type Fig414Result struct {
 	Unbuffered TCPTraceResult
 }
 
-// RunFig414 runs both Figure 4.14 curves.
-func RunFig414() Fig414Result {
+// RunFig414 runs both Figure 4.14 curves under the thesis' default seed.
+func RunFig414() Fig414Result { return RunFig414Seeded(0) }
+
+// RunFig414Seeded runs both Figure 4.14 curves under a caller-chosen
+// seed (0 selects the thesis default).
+func RunFig414Seeded(seed int64) Fig414Result {
 	return Fig414Result{
-		Buffered:   RunTCPTrace(TCPTraceParams{Buffered: true}),
-		Unbuffered: RunTCPTrace(TCPTraceParams{Buffered: false}),
+		Buffered:   RunTCPTrace(TCPTraceParams{Buffered: true, Seed: seed}),
+		Unbuffered: RunTCPTrace(TCPTraceParams{Buffered: false, Seed: seed}),
 	}
 }
 

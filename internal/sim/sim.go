@@ -163,7 +163,9 @@ func (e *Engine) Cancel(ref EventRef) {
 }
 
 // Stop makes the current Run call return after the in-flight event handler
-// completes.
+// completes. Calling Stop while no Run is in progress is not lost: the
+// pending stop is honored (and consumed) by the next Run call, which
+// returns ErrStopped without processing any events.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step fires the single earliest pending event and advances the clock to its
@@ -184,11 +186,14 @@ func (e *Engine) Step() bool {
 
 // Run processes events until the queue is empty or the clock would pass the
 // horizon. Events scheduled exactly at the horizon still fire. It returns
-// ErrStopped if Stop was called, otherwise nil.
+// ErrStopped if Stop was called, otherwise nil. A Stop issued before Run
+// (including one left over from a handler that fired after its Run call
+// already returned) is honored immediately: Run consumes it and returns
+// ErrStopped without firing any event, so a stop is never silently lost.
 func (e *Engine) Run(until Time) error {
-	e.stopped = false
-	for len(e.queue) > 0 {
+	for len(e.queue) > 0 || e.stopped {
 		if e.stopped {
+			e.stopped = false
 			return ErrStopped
 		}
 		next := e.queue[0]

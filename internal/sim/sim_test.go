@@ -348,3 +348,34 @@ func TestPropertyCancelSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStopBeforeRunIsHonored(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(Second, func() { fired = true })
+	e.Stop() // issued before Run: must not be silently lost
+	if err := e.RunAll(); err != ErrStopped {
+		t.Fatalf("RunAll after pre-Run Stop = %v, want ErrStopped", err)
+	}
+	if fired {
+		t.Fatal("event fired despite a pending stop")
+	}
+	// The stop is consumed: the next Run proceeds normally.
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll after consumed stop: %v", err)
+	}
+	if !fired {
+		t.Fatal("event lost after the stop was consumed")
+	}
+}
+
+func TestStopBeforeRunEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.Stop()
+	if err := e.RunAll(); err != ErrStopped {
+		t.Fatalf("RunAll on empty stopped engine = %v, want ErrStopped", err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("second RunAll = %v, want nil", err)
+	}
+}

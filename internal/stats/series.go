@@ -132,3 +132,47 @@ func (s *Summary) Min() float64 { return s.min }
 
 // Max returns the largest sample.
 func (s *Summary) Max() float64 { return s.max }
+
+// SampleStdDev returns the Bessel-corrected (n−1) sample standard
+// deviation — the estimator confidence intervals are built from. Zero with
+// fewer than two samples.
+func (s *Summary) SampleStdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := (s.sum2 - float64(s.n)*m*m) / float64(s.n-1)
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	return math.Sqrt(v)
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean: 1.96·s/√n with the sample standard deviation.
+// Replica counts here are usually ≥ 30, where the normal approximation to
+// the t distribution is within a couple of percent. Zero with fewer than
+// two samples.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.SampleStdDev() / math.Sqrt(float64(s.n))
+}
+
+// Merge folds another summary into this one, as if every sample of o had
+// been Added individually. Merging an empty summary is a no-op.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+	s.sum2 += o.sum2
+}
