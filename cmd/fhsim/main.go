@@ -47,6 +47,7 @@ func run(args []string, out *os.File) error {
 		plainMIP   = fs.Bool("plainmip", false, "plain Mobile IP baseline instead of fast handover")
 		haDelay    = fs.Duration("hadelay", 0, "anchor hosts at a home agent this far (one-way) behind the MAP")
 		hysteresis = fs.Float64("hysteresis", 0, "signal-strength margin (dB) for the handover trigger")
+		loss       = fs.Float64("loss", 0, "control-plane loss probability on the access links [0,1]")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +78,7 @@ func run(args []string, out *os.File) error {
 		PlainMobileIP:        *plainMIP,
 		HomeAgentDelay:       *haDelay,
 		HysteresisDB:         *hysteresis,
+		ControlLossRate:      *loss,
 		Seed:                 *seed,
 	})
 	for i := 0; i < *hosts; i++ {

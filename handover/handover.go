@@ -119,7 +119,12 @@ type Config struct {
 	// beat the current one by before a handover triggers (anti-flapping;
 	// spends the coverage-overlap budget).
 	HysteresisDB float64
-	// Seed drives the deterministic beacon phases.
+	// ControlLossRate, when positive, drops each handover-signalling packet
+	// on the access links with this probability (seeded, per-interface
+	// streams) and enables the retransmission paths for unacknowledged
+	// messages. Data packets are never injected with loss.
+	ControlLossRate float64
+	// Seed drives the deterministic beacon phases and fault streams.
 	Seed int64
 }
 
@@ -171,19 +176,20 @@ func New(cfg Config) *Simulation {
 		mobility = core.MobilityPlainMIP
 	}
 	return &Simulation{tb: scenario.NewTestbed(scenario.Params{
-		Scheme:         cfg.Scheme,
-		PoolSize:       cfg.RouterBufferPackets,
-		Alpha:          cfg.Alpha,
-		BufferRequest:  cfg.BufferRequestPackets,
-		ARLinkDelay:    sim.Duration(cfg.ARLinkDelay),
-		L2HandoffDelay: sim.Duration(cfg.L2HandoffDelay),
-		RAInterval:     sim.Duration(cfg.RAInterval),
-		PartialGrants:  cfg.PartialGrants,
-		AuthKey:        cfg.AuthKey,
-		Mobility:       mobility,
-		HomeAgentDelay: sim.Duration(cfg.HomeAgentDelay),
-		HysteresisDB:   cfg.HysteresisDB,
-		Seed:           cfg.Seed,
+		Scheme:          cfg.Scheme,
+		PoolSize:        cfg.RouterBufferPackets,
+		Alpha:           cfg.Alpha,
+		BufferRequest:   cfg.BufferRequestPackets,
+		ARLinkDelay:     sim.Duration(cfg.ARLinkDelay),
+		L2HandoffDelay:  sim.Duration(cfg.L2HandoffDelay),
+		RAInterval:      sim.Duration(cfg.RAInterval),
+		PartialGrants:   cfg.PartialGrants,
+		AuthKey:         cfg.AuthKey,
+		Mobility:        mobility,
+		HomeAgentDelay:  sim.Duration(cfg.HomeAgentDelay),
+		HysteresisDB:    cfg.HysteresisDB,
+		ControlLossRate: cfg.ControlLossRate,
+		Seed:            cfg.Seed,
 	})}
 }
 

@@ -35,10 +35,35 @@ type ARConfig struct {
 	// FNAs must carry a valid tag under the same key, and outgoing HIs
 	// are signed. Unauthenticated handovers are refused.
 	AuthKey []byte
+	// RetransmitInterval is the initial retransmission timeout for
+	// signaling the router originates and expects an answer to (the HI
+	// awaiting its HAck). It doubles on every retry. Zero selects
+	// DefaultRetransmitInterval.
+	RetransmitInterval sim.Time
+	// MaxSignalTries bounds the total transmissions per signaling exchange
+	// (the first send plus retries). Zero selects DefaultMaxSignalTries.
+	MaxSignalTries int
+	// RetransmitUnacked additionally retransmits the protocol's
+	// unacknowledged release message (the NAR→PAR BF relay) on the same
+	// backoff schedule, relying on the PAR's idempotent duplicate
+	// handling. Off by default: duplicates of unacknowledged messages are
+	// sent even on loss-free links, so only loss-injected deployments
+	// should pay for them.
+	RetransmitUnacked bool
 }
 
 // DefaultGraceDelay is the default NAR session linger after release.
 const DefaultGraceDelay = 1 * sim.Second
+
+// DefaultRetransmitInterval is the initial signaling retransmission
+// timeout. It must exceed the worst-case signaling round trip of the
+// deployment (the thesis' Figure 4.10 runs a 50 ms inter-router link, so
+// the RtSolPr→PrRtAdv exchange can take >100 ms).
+const DefaultRetransmitInterval = 150 * sim.Millisecond
+
+// DefaultMaxSignalTries is the default transmission bound per signaling
+// exchange: the first send plus two retries, backed off 1×, 2×, 4×.
+const DefaultMaxSignalTries = 3
 
 // DefaultSessionLifetime bounds sessions whose host requested no buffering
 // (no BI, hence no explicit lifetime): without it, a plain fast-handover
@@ -102,6 +127,15 @@ type session struct {
 
 	startTimer *sim.Timer
 	lifeTimer  *sim.Timer
+
+	// PAR: HI retransmission until the HAck arrives or tries exhaust.
+	hiTimer *sim.Timer
+	hiTries int
+	lastHI  *fho.HI
+	// NAR: bounded blind retransmission of the unacknowledged BF relay
+	// (only with RetransmitUnacked).
+	bfTimer *sim.Timer
+	bfTries int
 }
 
 // AccessRouter is the handover protocol engine wrapped around a forwarding
@@ -122,7 +156,13 @@ type AccessRouter struct {
 	sessions map[inet.Addr]*session
 	auth     *fho.Authenticator
 
-	authRejects uint64
+	// fallbackRoutes bounds the stale PCoA host routes installed by the
+	// no-session FNA fallback, which have no owning session to tear them
+	// down.
+	fallbackRoutes map[inet.Addr]*sim.Timer
+
+	authRejects       uint64
+	signalingFailures uint64
 
 	// OnDrop observes every packet the engine drops, with the drop site
 	// (DropAtPAR, DropAtNAR, DropPolicy, DropOnLifetime).
@@ -156,17 +196,24 @@ func NewAccessRouter(engine *sim.Engine, router *netsim.Router, net inet.NetID,
 	if cfg.GraceDelay == 0 {
 		cfg.GraceDelay = DefaultGraceDelay
 	}
+	if cfg.RetransmitInterval == 0 {
+		cfg.RetransmitInterval = DefaultRetransmitInterval
+	}
+	if cfg.MaxSignalTries == 0 {
+		cfg.MaxSignalTries = DefaultMaxSignalTries
+	}
 	ar := &AccessRouter{
-		engine:      engine,
-		router:      router,
-		net:         net,
-		cfg:         cfg,
-		pool:        buffer.NewPool(cfg.PoolSize),
-		dir:         dir,
-		apIfaces:    make(map[string]*netsim.Iface),
-		apByIface:   make(map[*netsim.Iface]string),
-		sessions:    make(map[inet.Addr]*session),
-		controlSent: make(map[fho.Kind]uint64),
+		engine:         engine,
+		router:         router,
+		net:            net,
+		cfg:            cfg,
+		pool:           buffer.NewPool(cfg.PoolSize),
+		dir:            dir,
+		apIfaces:       make(map[string]*netsim.Iface),
+		apByIface:      make(map[*netsim.Iface]string),
+		sessions:       make(map[inet.Addr]*session),
+		fallbackRoutes: make(map[inet.Addr]*sim.Timer),
+		controlSent:    make(map[fho.Kind]uint64),
 	}
 	ar.auth = fho.NewAuthenticator(cfg.AuthKey)
 	router.Intercept = ar.intercept
@@ -196,6 +243,12 @@ func (ar *AccessRouter) Sessions() int { return len(ar.sessions) }
 // AuthRejects counts handover messages refused for failing
 // authentication.
 func (ar *AccessRouter) AuthRejects() uint64 { return ar.authRejects }
+
+// SignalingFailures counts acknowledged signaling exchanges this router
+// gave up on after exhausting their retransmission budget (an HI whose
+// HAck never came). Each one corresponds to an anticipated handover the
+// router abandoned, telling the host nothing was prepared.
+func (ar *AccessRouter) SignalingFailures() uint64 { return ar.signalingFailures }
 
 // SetAuthKey replaces the router's authentication key; nil disables
 // authentication.
@@ -337,7 +390,7 @@ func (ar *AccessRouter) handleRtSolPr(in *netsim.Iface, pkt *inet.Packet, msg *f
 			if ar.auth != nil {
 				ar.auth.SignHI(hi)
 			}
-			ar.sendControl(s.peer, hi)
+			ar.sendHI(s, hi)
 		}
 		return
 	}
@@ -442,30 +495,63 @@ func (ar *AccessRouter) initNetworkHandoff(pkt *inet.Packet, msg *fho.RtSolPr) {
 	if ar.auth != nil {
 		ar.auth.SignHI(hi)
 	}
+	ar.sendHI(s, hi)
+}
+
+// sendHI transmits an HI toward the session's peer and (re)arms its
+// retransmission timer: the HI expects an HAck, and a lost exchange would
+// otherwise stall the handoff until the session lifetime lapses.
+func (ar *AccessRouter) sendHI(s *session, hi *fho.HI) {
+	s.lastHI = hi
+	s.hiTries = 1
+	if s.hiTimer == nil {
+		s.hiTimer = sim.NewTimer(ar.engine, func() { ar.retryHI(s) })
+	}
+	s.hiTimer.Reset(ar.cfg.RetransmitInterval)
 	ar.sendControl(s.peer, hi)
 }
 
-// armTimers schedules the BI start-time auto-redirect and the buffering
-// lifetime. Sessions without a BI still get the default lifetime so they
-// cannot leak.
-func (ar *AccessRouter) armTimers(s *session, bi *fho.BufferInit) {
-	if bi == nil {
-		s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
-		s.lifeTimer.Reset(DefaultSessionLifetime)
+// retryHI retransmits an unacknowledged HI with exponential backoff. When
+// the try budget is exhausted the router abandons the anticipated handover:
+// the reservation is released and the host is told nothing is prepared, so
+// it degrades to the reactive (no-anticipation) path instead of waiting on
+// a session that will never complete.
+func (ar *AccessRouter) retryHI(s *session) {
+	if cur, ok := ar.sessions[s.pcoa]; !ok || cur != s || s.lastHI == nil {
 		return
 	}
-	if bi.Start > 0 {
-		s.startTimer = sim.NewTimer(ar.engine, func() {
-			if !s.redirecting {
-				s.redirecting = true
-			}
-		})
-		s.startTimer.ResetAt(bi.Start)
+	if s.hiTries >= ar.cfg.MaxSignalTries {
+		ar.signalingFailures++
+		ar.closeSession(s, false)
+		ar.sendControl(s.pcoa, &fho.PrRtAdv{})
+		return
 	}
-	if bi.Lifetime > 0 {
-		s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
-		s.lifeTimer.Reset(bi.Lifetime)
+	s.hiTries++
+	ar.sendControl(s.peer, s.lastHI)
+	s.hiTimer.Reset(ar.cfg.RetransmitInterval << (s.hiTries - 1))
+}
+
+// armTimers schedules the BI start-time auto-redirect and the buffering
+// lifetime. Every session gets a lifetime timer — a BI without a positive
+// lifetime (and a session without a BI) falls back to
+// DefaultSessionLifetime — so sessions cannot leak.
+func (ar *AccessRouter) armTimers(s *session, bi *fho.BufferInit) {
+	life := DefaultSessionLifetime
+	if bi != nil {
+		if bi.Start > 0 {
+			s.startTimer = sim.NewTimer(ar.engine, func() {
+				if !s.redirecting {
+					s.redirecting = true
+				}
+			})
+			s.startTimer.ResetAt(bi.Start)
+		}
+		if bi.Lifetime > 0 {
+			life = bi.Lifetime
+		}
 	}
+	s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
+	s.lifeTimer.Reset(life)
 }
 
 // handleHI is the NAR side of initiation: validate the NCoA, install the
@@ -525,6 +611,11 @@ func (ar *AccessRouter) handleHAck(msg *fho.HAck) {
 	if !ok || s.role != rolePAR {
 		return
 	}
+	// The exchange is acknowledged: stop retransmitting the HI.
+	if s.hiTimer != nil {
+		s.hiTimer.Stop()
+	}
+	s.lastHI = nil
 	if !msg.Accepted {
 		// The NAR refused the handover (e.g. failed authentication):
 		// release the reservation and tell the host nothing is prepared.
@@ -669,10 +760,12 @@ func (ar *AccessRouter) handleFNA(in *netsim.Iface, msg *fho.FNA) {
 	s, ok := ar.sessions[msg.PCoA]
 	if !ok || s.role != roleNAR {
 		// Host attached without a prepared session (no-anticipation
-		// fallback): just install the routes.
+		// fallback): just install the routes. The PCoA route has no owning
+		// session to tear it down, so it is bounded separately.
 		if in != nil {
 			ar.router.AddHostRoute(msg.NCoA, in)
 			ar.router.AddHostRoute(msg.PCoA, in)
+			ar.boundFallbackRoute(msg.PCoA, msg.NCoA)
 		}
 		return
 	}
@@ -686,6 +779,13 @@ func (ar *AccessRouter) handleFNA(in *netsim.Iface, msg *fho.FNA) {
 	}
 	if msg.BufferForward && !s.peer.IsUnspecified() {
 		ar.sendControl(s.peer, &fho.BF{PCoA: msg.PCoA})
+		if ar.cfg.RetransmitUnacked {
+			s.bfTries = 1
+			if s.bfTimer == nil {
+				s.bfTimer = sim.NewTimer(ar.engine, func() { ar.retryBF(s) })
+			}
+			s.bfTimer.Reset(ar.cfg.RetransmitInterval)
+		}
 	}
 	// Linger so the PAR's drained packets still find the session, then
 	// return the reservation. The NCoA host route stays: the host now
@@ -695,6 +795,48 @@ func (ar *AccessRouter) handleFNA(in *netsim.Iface, msg *fho.FNA) {
 			ar.closeSession(s, false)
 		}
 	})
+}
+
+// retryBF blindly retransmits the unacknowledged BF relay toward the PAR,
+// leaning on handleBF's idempotency (a BF for an already-released session
+// finds no session and is ignored). There is no exhaustion accounting: the
+// BF only hastens the PAR's buffer release, and the PAR's session lifetime
+// is the backstop if every copy is lost.
+func (ar *AccessRouter) retryBF(s *session) {
+	if cur, ok := ar.sessions[s.pcoa]; !ok || cur != s || s.bfTries >= ar.cfg.MaxSignalTries {
+		return
+	}
+	s.bfTries++
+	ar.sendControl(s.peer, &fho.BF{PCoA: s.pcoa})
+	s.bfTimer.Reset(ar.cfg.RetransmitInterval << (s.bfTries - 1))
+}
+
+// DefaultFallbackRouteLifetime bounds the PCoA host route installed by the
+// no-session FNA fallback. The route only exists to catch in-flight packets
+// still addressed to the previous care-of address; once the binding updates
+// have propagated nothing legitimate uses it.
+const DefaultFallbackRouteLifetime = DefaultSessionLifetime
+
+// boundFallbackRoute schedules removal of a fallback PCoA host route.
+// Plain-MIP attaches announce PCoA == NCoA — the route is the resident
+// route then and must not be bounded. A live session appearing for the
+// PCoA takes ownership of the route, so the timer backs off.
+func (ar *AccessRouter) boundFallbackRoute(pcoa, ncoa inet.Addr) {
+	if pcoa == ncoa {
+		return
+	}
+	t, ok := ar.fallbackRoutes[pcoa]
+	if !ok {
+		t = sim.NewTimer(ar.engine, func() {
+			delete(ar.fallbackRoutes, pcoa)
+			if _, owned := ar.sessions[pcoa]; owned {
+				return
+			}
+			ar.router.RemoveHostRoute(pcoa)
+		})
+		ar.fallbackRoutes[pcoa] = t
+	}
+	t.Reset(DefaultFallbackRouteLifetime)
 }
 
 // handleBF releases the PAR's buffer: drain toward the NAR (or, for a
@@ -772,6 +914,12 @@ func (ar *AccessRouter) closeSession(s *session, expired bool) {
 	}
 	if s.lifeTimer != nil {
 		s.lifeTimer.Stop()
+	}
+	if s.hiTimer != nil {
+		s.hiTimer.Stop()
+	}
+	if s.bfTimer != nil {
+		s.bfTimer.Stop()
 	}
 	if s.granted > 0 {
 		ar.pool.Release(s.granted)

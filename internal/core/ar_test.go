@@ -306,6 +306,120 @@ func TestARDuplicateSolicitResendsHI(t *testing.T) {
 	}
 }
 
+// dropKinds drops the first n control messages of the given kinds crossing
+// the interface, returning a counter of how many it ate.
+func dropKinds(ifc *netsim.Iface, n int, kinds ...fho.Kind) *int {
+	dropped := 0
+	ifc.Impair = func(pkt *inet.Packet) bool {
+		if dropped >= n {
+			return false
+		}
+		for _, k := range kinds {
+			if msg, ok := pkt.Payload.(fho.Message); ok && msg.Kind() == k {
+				dropped++
+				return true
+			}
+		}
+		return false
+	}
+	return &dropped
+}
+
+// narToPARIface returns the NAR's interface toward the PAR.
+func (h *arHarness) narToPARIface() *netsim.Iface {
+	for _, ifc := range h.nar.Router().Ifaces() {
+		if ifc.Peer() == netsim.Node(h.par.Router()) {
+			return ifc
+		}
+	}
+	return nil
+}
+
+// Regression: a BI with Lifetime <= 0 used to arm no lifetime timer at all,
+// leaking the session (and its reservation) forever if the release
+// signaling never arrived. The default lifetime must backstop it.
+func TestARZeroLifetimeBIStillExpires(t *testing.T) {
+	h := newARHarness(t, ARConfig{Scheme: SchemeEnhanced, PoolSize: 40})
+	h.par.Router().HandlePacket(nil, &inet.Packet{
+		Src: h.pcoa, Dst: h.par.Addr(), Proto: inet.ProtoControl, Size: 64,
+		Payload: &fho.RtSolPr{
+			MH: h.pcoa, TargetAP: "nar-ap",
+			BI: &fho.BufferInit{Size: 10, Start: h.engine.Now() + sim.Second},
+		},
+	})
+	h.run(t, 100*sim.Millisecond)
+	if h.par.Sessions() != 1 || h.nar.Sessions() != 1 {
+		t.Fatalf("sessions: par=%d nar=%d, want 1/1", h.par.Sessions(), h.nar.Sessions())
+	}
+	// Never send the FBU or the FNA: only the lifetime backstop can clean
+	// up. The zero-lifetime BI must fall back to DefaultSessionLifetime.
+	h.run(t, DefaultSessionLifetime+sim.Second)
+	if h.par.Sessions() != 0 || h.nar.Sessions() != 0 {
+		t.Fatalf("zero-lifetime sessions leaked: par=%d nar=%d",
+			h.par.Sessions(), h.nar.Sessions())
+	}
+	if h.par.Pool().Reserved() != 0 || h.nar.Pool().Reserved() != 0 {
+		t.Fatalf("reservations leaked: par=%d nar=%d",
+			h.par.Pool().Reserved(), h.nar.Pool().Reserved())
+	}
+}
+
+func TestARHIRetransmitRecoversLostHAck(t *testing.T) {
+	h := newARHarness(t, ARConfig{Scheme: SchemeEnhanced, PoolSize: 40})
+	dropped := dropKinds(h.narToPARIface(), 1, fho.KindHAck)
+	h.solicit(10)
+	h.run(t, sim.Second)
+
+	if *dropped != 1 {
+		t.Fatalf("HAck drops = %d, want 1", *dropped)
+	}
+	if got := h.par.ControlSent(fho.KindHI); got != 2 {
+		t.Fatalf("HI sent %d times, want 2 (original + one retransmission)", got)
+	}
+	if got := h.par.ControlSent(fho.KindPrRtAdv); got != 1 {
+		t.Fatalf("PrRtAdv sent %d times, want 1", got)
+	}
+	if h.par.Sessions() != 1 || h.nar.Sessions() != 1 {
+		t.Fatalf("sessions: par=%d nar=%d, want 1/1", h.par.Sessions(), h.nar.Sessions())
+	}
+	if h.par.SignalingFailures() != 0 {
+		t.Fatalf("SignalingFailures = %d, want 0", h.par.SignalingFailures())
+	}
+}
+
+func TestARHIExhaustionRefusesAndCleansUp(t *testing.T) {
+	h := newARHarness(t, ARConfig{Scheme: SchemeEnhanced, PoolSize: 40})
+	dropped := dropKinds(h.narToPARIface(), 1000, fho.KindHAck)
+	h.solicit(10)
+	// Tries exhaust at 150 + 300 + 600 = 1050 ms.
+	h.run(t, 2*sim.Second)
+
+	if got := h.par.ControlSent(fho.KindHI); got != uint64(DefaultMaxSignalTries) {
+		t.Fatalf("HI sent %d times, want %d", got, DefaultMaxSignalTries)
+	}
+	if *dropped != DefaultMaxSignalTries {
+		t.Fatalf("HAck drops = %d, want %d", *dropped, DefaultMaxSignalTries)
+	}
+	if h.par.SignalingFailures() != 1 {
+		t.Fatalf("SignalingFailures = %d, want 1", h.par.SignalingFailures())
+	}
+	if h.par.Sessions() != 0 || h.par.Pool().Reserved() != 0 {
+		t.Fatalf("PAR state leaked after exhaustion: sessions=%d reserved=%d",
+			h.par.Sessions(), h.par.Pool().Reserved())
+	}
+	// The host was told (refusal PrRtAdv) so it can fall back.
+	if got := h.par.ControlSent(fho.KindPrRtAdv); got != 1 {
+		t.Fatalf("refusal PrRtAdv sent %d times, want 1", got)
+	}
+	// The NAR's orphaned session (its HAcks vanished) lapses with the BI
+	// lifetime from the solicitation.
+	h.run(t, 10*sim.Second)
+	if h.nar.Sessions() != 0 || h.nar.Pool().Reserved() != 0 {
+		t.Fatalf("NAR state leaked: sessions=%d reserved=%d",
+			h.nar.Sessions(), h.nar.Pool().Reserved())
+	}
+}
+
 func TestSchemeOpDualTreatsAllAsHP(t *testing.T) {
 	avail := buffer.Availability{NAR: true, PAR: true}
 	for _, c := range inet.Classes {

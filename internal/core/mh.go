@@ -29,9 +29,27 @@ type MHConfig struct {
 	// the uplink frame time to leave the radio. Zero selects
 	// DefaultFBUGuard.
 	FBUGuard sim.Time
-	// SolicitTimeout abandons a handoff whose PrRtAdv never arrives. Zero
-	// selects DefaultSolicitTimeout.
+	// SolicitTimeout is retained for configuration compatibility; the
+	// solicitation is now abandoned when the RetransmitInterval /
+	// MaxSignalTries retry budget exhausts (see solicitRetry). Zero selects
+	// DefaultSolicitTimeout.
 	SolicitTimeout sim.Time
+	// RetransmitInterval is the initial retransmission timeout for handover
+	// signaling that expects an answer (the RtSolPr awaiting its PrRtAdv,
+	// the FBU awaiting its FBAck). It doubles on every retry. Zero selects
+	// DefaultRetransmitInterval.
+	RetransmitInterval sim.Time
+	// MaxSignalTries bounds the total transmissions per signaling exchange
+	// (the first send plus retries). Zero selects DefaultMaxSignalTries.
+	MaxSignalTries int
+	// RetransmitUnacked additionally retransmits the protocol's
+	// unacknowledged messages — the attach-time FNA/BF release (cleared by
+	// an implicit acknowledgment: any packet delivered to the new care-of
+	// address) and the post-attach unanticipated FBU (whose FBAck cannot
+	// reach the departed address). Off by default: duplicates of
+	// unacknowledged messages are sent even on loss-free links, so only
+	// loss-injected deployments should pay for them.
+	RetransmitUnacked bool
 	// RegistrationLifetime is the binding-update lifetime sent to the MAP.
 	// Zero selects DefaultRegistrationLifetime.
 	RegistrationLifetime sim.Time
@@ -80,6 +98,12 @@ func (c *MHConfig) applyDefaults() {
 	}
 	if c.SolicitTimeout == 0 {
 		c.SolicitTimeout = DefaultSolicitTimeout
+	}
+	if c.RetransmitInterval == 0 {
+		c.RetransmitInterval = DefaultRetransmitInterval
+	}
+	if c.MaxSignalTries == 0 {
+		c.MaxSignalTries = DefaultMaxSignalTries
 	}
 	if c.RegistrationLifetime == 0 {
 		c.RegistrationLifetime = DefaultRegistrationLifetime
@@ -173,8 +197,26 @@ type MobileHost struct {
 	prevAR        inet.Addr
 	current       HandoffRecord
 	buSeq         uint16
-	solicitT      *sim.Timer
 	lastAttach    sim.Time
+
+	// Solicitation retransmission (RtSolPr awaiting its PrRtAdv).
+	solicitT    *sim.Timer
+	solTries    int
+	lastSolicit *fho.RtSolPr
+	// FBU retransmission (awaiting its FBAck).
+	fbuT       *sim.Timer
+	fbuTries   int
+	fbuPending bool
+	lastFBU    *fho.FBU
+	fbuDst     inet.Addr
+	// Release retransmission (the attach-time FNA/BF, with
+	// RetransmitUnacked), cleared by the implicit acknowledgment.
+	relT        *sim.Timer
+	relTries    int
+	relPending  bool
+	lastRelease fho.Message
+
+	signalingFailures uint64
 
 	buRetry   *sim.Timer
 	buRefresh *sim.Timer
@@ -212,7 +254,9 @@ func NewMobileHost(engine *sim.Engine, station *wireless.Station,
 	station.OnPacket = mh.handlePacket
 	station.OnLinkUp = mh.handleLinkUp
 	mh.auth = fho.NewAuthenticator(cfg.AuthKey)
-	mh.solicitT = sim.NewTimer(engine, mh.solicitTimeout)
+	mh.solicitT = sim.NewTimer(engine, mh.solicitRetry)
+	mh.fbuT = sim.NewTimer(engine, mh.retryFBU)
+	mh.relT = sim.NewTimer(engine, mh.retryRelease)
 	mh.buRetry = sim.NewTimer(engine, mh.retryBindingUpdate)
 	mh.buRefresh = sim.NewTimer(engine, mh.refreshBinding)
 	return mh
@@ -229,6 +273,13 @@ func (mh *MobileHost) RCoA() inet.Addr { return mh.rcoa }
 
 // Handoffs returns the completed handoff records.
 func (mh *MobileHost) Handoffs() []HandoffRecord { return mh.handoffs }
+
+// SignalingFailures counts handover signaling exchanges the host gave up
+// on after exhausting their retransmission budget: a solicitation whose
+// PrRtAdv never came (the host then degrades to the reactive path) or an
+// attach announcement that was never implicitly acknowledged (the host is
+// blackholed until its next movement).
+func (mh *MobileHost) SignalingFailures() uint64 { return mh.signalingFailures }
 
 // SetAuthKey replaces the host's authentication key; nil disables
 // signing.
@@ -292,6 +343,7 @@ func (mh *MobileHost) handleRA(adv wireless.Advertisement) {
 // signalling happens from the new link (the protocol's no-anticipation
 // case). Packets in flight during the blackout are lost.
 func (mh *MobileHost) startUnanticipatedHandoff(adv wireless.Advertisement) {
+	mh.cancelRetries()
 	mh.state = mhSwitching
 	mh.target = adv
 	mh.unanticipated = true
@@ -306,6 +358,7 @@ func (mh *MobileHost) startUnanticipatedHandoff(adv wireless.Advertisement) {
 
 // startHandoff sends RtSolPr+BI toward the current access router.
 func (mh *MobileHost) startHandoff(adv wireless.Advertisement) {
+	mh.cancelRetries()
 	mh.state = mhSoliciting
 	mh.target = adv
 	mh.unanticipated = false
@@ -322,15 +375,60 @@ func (mh *MobileHost) startHandoff(adv wireless.Advertisement) {
 		mh.auth.SignRtSolPr(msg)
 	}
 	mh.sendControl(mh.arAddr, msg)
-	mh.solicitT.Reset(mh.cfg.SolicitTimeout)
+	mh.armSolicitRetry(msg)
 }
 
-// solicitTimeout abandons a handoff (or shadow-buffering request) whose
-// PrRtAdv never arrived; the next beacon (or caller retry) starts over.
-func (mh *MobileHost) solicitTimeout() {
-	if mh.state == mhSoliciting || mh.state == mhShadowRequest {
-		mh.state = mhIdle
+// armSolicitRetry records a sent RtSolPr and starts its retransmission
+// timer awaiting the PrRtAdv.
+func (mh *MobileHost) armSolicitRetry(msg *fho.RtSolPr) {
+	mh.lastSolicit = msg
+	mh.solTries = 1
+	mh.solicitT.Reset(mh.cfg.RetransmitInterval)
+}
+
+// solicitRetry retransmits an unanswered RtSolPr with exponential backoff,
+// leaning on the access router's idempotent duplicate handling. When the
+// try budget exhausts, a shadow-buffering request is abandoned (the caller
+// can retry), while a handover degrades to the reactive no-anticipation
+// path instead of hanging on signaling that will never complete.
+func (mh *MobileHost) solicitRetry() {
+	if mh.state != mhSoliciting && mh.state != mhShadowRequest {
+		return
 	}
+	if mh.solTries >= mh.cfg.MaxSignalTries {
+		if mh.state == mhShadowRequest {
+			mh.state = mhIdle
+			return
+		}
+		mh.fallbackToReactive()
+		return
+	}
+	mh.solTries++
+	mh.sendControl(mh.arAddr, mh.lastSolicit)
+	mh.solicitT.Reset(mh.cfg.RetransmitInterval << (mh.solTries - 1))
+}
+
+// fallbackToReactive abandons an anticipated handover whose signaling
+// exhausted its retries and switches links immediately — the protocol's
+// no-anticipation case — so the handoff still completes, just without
+// buffering.
+func (mh *MobileHost) fallbackToReactive() {
+	mh.signalingFailures++
+	if mh.target.AP == nil {
+		mh.state = mhIdle
+		return
+	}
+	mh.startUnanticipatedHandoff(mh.target)
+}
+
+// cancelRetries stops the per-handoff retransmission timers when a new
+// movement supersedes whatever exchange they were driving.
+func (mh *MobileHost) cancelRetries() {
+	mh.solicitT.Stop()
+	mh.fbuT.Stop()
+	mh.fbuPending = false
+	mh.relT.Stop()
+	mh.relPending = false
 }
 
 // CancelHandoff aborts an in-progress handover before the link switch by
@@ -361,13 +459,23 @@ func (mh *MobileHost) CancelHandoff() bool {
 
 // handlePacket receives every frame the station accepts.
 func (mh *MobileHost) handlePacket(pkt *inet.Packet) {
+	if mh.relPending && pkt.Dst == mh.lcoa {
+		// Implicit release acknowledgment: a packet addressed to the new
+		// care-of address proves the FNA-installed host route exists at the
+		// new router (without it the router has no route and drops).
+		mh.relPending = false
+		mh.relT.Stop()
+	}
 	inner := pkt.Innermost()
 	if inner.Proto == inet.ProtoControl {
 		switch msg := inner.Payload.(type) {
 		case *fho.PrRtAdv:
 			mh.handlePrRtAdv(msg)
 		case *fho.FBAck:
-			// Confirmation only; redirection already runs at the PAR.
+			// Redirection already runs at the PAR; the ack just stops the
+			// FBU retransmissions.
+			mh.fbuPending = false
+			mh.fbuT.Stop()
 		case *mip.BindingAck:
 			if msg.Seq == mh.buSeq {
 				mh.buPending = false
@@ -405,7 +513,7 @@ func (mh *MobileHost) RequestLinkBuffering() bool {
 		mh.auth.SignRtSolPr(msg)
 	}
 	mh.sendControl(mh.arAddr, msg)
-	mh.solicitT.Reset(mh.cfg.SolicitTimeout)
+	mh.armSolicitRetry(msg)
 	return true
 }
 
@@ -436,6 +544,7 @@ func (mh *MobileHost) handlePrRtAdv(msg *fho.PrRtAdv) {
 			mh.auth.SignFBU(fbu)
 		}
 		mh.sendControl(mh.arAddr, fbu)
+		mh.armFBURetry(mh.arAddr, fbu)
 		return
 	}
 	if mh.state == mhIdle && msg.TargetAP != "" && !msg.NCoA.IsUnspecified() {
@@ -475,6 +584,7 @@ func (mh *MobileHost) handlePrRtAdv(msg *fho.PrRtAdv) {
 		mh.auth.SignFBU(fbu)
 	}
 	mh.sendControl(mh.arAddr, fbu)
+	mh.armFBURetry(mh.arAddr, fbu)
 	target := mh.target.AP
 	mh.engine.Schedule(mh.cfg.FBUGuard, func() {
 		if mh.state != mhReady {
@@ -482,8 +592,72 @@ func (mh *MobileHost) handlePrRtAdv(msg *fho.PrRtAdv) {
 		}
 		mh.state = mhSwitching
 		mh.current.Detached = mh.engine.Now()
+		// The old link is gone: the pre-switch FBU retries end here (the
+		// PAR's BI start time is the backstop for a lost FBU).
+		mh.fbuPending = false
+		mh.fbuT.Stop()
 		mh.station.SwitchTo(target)
 	})
+}
+
+// armFBURetry records an FBU awaiting its FBAck and starts the
+// retransmission timer.
+func (mh *MobileHost) armFBURetry(dst inet.Addr, fbu *fho.FBU) {
+	mh.fbuPending = true
+	mh.fbuTries = 1
+	mh.lastFBU = fbu
+	mh.fbuDst = dst
+	mh.fbuT.Reset(mh.cfg.RetransmitInterval)
+}
+
+// retryFBU retransmits an FBU still awaiting its FBAck with exponential
+// backoff, leaning on the PAR's idempotent duplicate handling. Exhaustion
+// is silent: a lost FBU only costs buffering (the BI start time and the
+// session lifetime are the backstops), it does not stall the handoff.
+func (mh *MobileHost) retryFBU() {
+	if !mh.fbuPending || mh.state == mhSwitching {
+		return
+	}
+	if mh.fbuTries >= mh.cfg.MaxSignalTries {
+		mh.fbuPending = false
+		return
+	}
+	mh.fbuTries++
+	mh.sendControl(mh.fbuDst, mh.lastFBU)
+	mh.fbuT.Reset(mh.cfg.RetransmitInterval << (mh.fbuTries - 1))
+}
+
+// armReleaseRetry records an attach-time release message (FNA or
+// link-layer BF) and starts its blind retransmission timer. Only armed
+// with RetransmitUnacked: the exchange has no explicit acknowledgment, so
+// retransmitting it on loss-free links would send pure duplicates.
+func (mh *MobileHost) armReleaseRetry(msg fho.Message) {
+	if !mh.cfg.RetransmitUnacked {
+		return
+	}
+	mh.relPending = true
+	mh.relTries = 1
+	mh.lastRelease = msg
+	mh.relT.Reset(mh.cfg.RetransmitInterval)
+}
+
+// retryRelease retransmits the attach announcement until a packet arrives
+// at the new care-of address (the implicit acknowledgment) or the try
+// budget exhausts. A lost FNA is otherwise a permanent blackhole — the new
+// router never learns a route for the NCoA — so exhaustion here counts as
+// a signaling failure.
+func (mh *MobileHost) retryRelease() {
+	if !mh.relPending {
+		return
+	}
+	if mh.relTries >= mh.cfg.MaxSignalTries {
+		mh.relPending = false
+		mh.signalingFailures++
+		return
+	}
+	mh.relTries++
+	mh.sendControl(mh.arAddr, mh.lastRelease)
+	mh.relT.Reset(mh.cfg.RetransmitInterval << (mh.relTries - 1))
 }
 
 // handleLinkUp completes the handoff on the new link: FNA+BF to the NAR
@@ -502,7 +676,9 @@ func (mh *MobileHost) handleLinkUp(ap *wireless.AccessPoint) {
 		return
 	}
 	if mh.llOnly {
-		mh.sendControl(mh.arAddr, &fho.BF{PCoA: mh.lcoa})
+		bf := &fho.BF{PCoA: mh.lcoa}
+		mh.sendControl(mh.arAddr, bf)
+		mh.armReleaseRetry(bf)
 		mh.finishHandoff()
 		return
 	}
@@ -516,19 +692,26 @@ func (mh *MobileHost) handleLinkUp(ap *wireless.AccessPoint) {
 		// Plain Mobile IP: announce the new address on the link (standard
 		// neighbour discovery; the FNA without a session doubles as it),
 		// then register with the anchor. Nothing was buffered anywhere.
-		mh.sendControl(mh.arAddr, &fho.FNA{NCoA: mh.ncoa, PCoA: mh.ncoa})
+		fna := &fho.FNA{NCoA: mh.ncoa, PCoA: mh.ncoa}
+		mh.sendControl(mh.arAddr, fna)
+		mh.armReleaseRetry(fna)
 		mh.registerWithMAP()
 		mh.engine.Schedule(mh.cfg.PCoAHoldTime, func() { mh.station.RemoveAddr(pcoa) })
 		mh.finishHandoff()
 		return
 	}
 	if mh.unanticipated {
-		// No-anticipation: FBU reaches the PAR through the new link.
+		// No-anticipation: FBU reaches the PAR through the new link. Its
+		// FBAck cannot reach the departed address, so retransmission (with
+		// RetransmitUnacked) is blind and bounded.
 		fbu := &fho.FBU{PCoA: pcoa, NCoA: mh.ncoa}
 		if mh.auth != nil {
 			mh.auth.SignFBU(fbu)
 		}
 		mh.sendControl(mh.prevAR, fbu)
+		if mh.cfg.RetransmitUnacked {
+			mh.armFBURetry(mh.prevAR, fbu)
+		}
 	}
 	wantRelease := mh.cfg.BufferRequest > 0 && mh.cfg.Scheme != SchemeFHNoBuffer
 	fna := &fho.FNA{NCoA: mh.ncoa, PCoA: pcoa, BufferForward: wantRelease}
@@ -536,6 +719,7 @@ func (mh *MobileHost) handleLinkUp(ap *wireless.AccessPoint) {
 		mh.auth.SignFNA(fna)
 	}
 	mh.sendControl(mh.arAddr, fna)
+	mh.armReleaseRetry(fna)
 	mh.registerWithMAP()
 	// Keep accepting the PCoA while buffered packets drain.
 	mh.engine.Schedule(mh.cfg.PCoAHoldTime, func() { mh.station.RemoveAddr(pcoa) })
@@ -639,7 +823,7 @@ func (mh *MobileHost) SendData(pkt *inet.Packet) { mh.station.Send(pkt) }
 // update), stops all timers, and detaches from the radio. The host can be
 // re-attached later with Attach.
 func (mh *MobileHost) Shutdown() {
-	mh.solicitT.Stop()
+	mh.cancelRetries()
 	mh.buRetry.Stop()
 	mh.buRefresh.Stop()
 	mh.buPending = false

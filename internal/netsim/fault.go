@@ -1,0 +1,172 @@
+package netsim
+
+import (
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// FaultConfig describes the probabilistic impairment applied to one
+// interface's transmit path.
+type FaultConfig struct {
+	// LossRate is the probability, per packet, that the packet is lost on
+	// the wire (vanishes without a trace, as a deep fade or collision
+	// would). Values outside [0, 1] are clamped.
+	LossRate float64
+	// CorruptRate is the probability, per surviving packet, that the
+	// packet is corrupted in flight. A corrupted frame fails its checksum
+	// at the receiver and is discarded there, so for the protocol engines
+	// it is indistinguishable from a loss; the injector counts it
+	// separately so experiments can attribute the two mechanisms.
+	CorruptRate float64
+	// ControlOnly restricts the impairment to control-plane packets
+	// (inet.ProtoControl, including tunnelled control), leaving the data
+	// plane untouched. This isolates the signaling-resilience axis: data
+	// loss during handoffs is already modelled by the blackout and the
+	// buffer dynamics.
+	ControlOnly bool
+}
+
+// faultState is the per-interface impairment stream.
+type faultState struct {
+	cfg       FaultConfig
+	rng       *sim.RNG
+	lost      uint64
+	corrupted uint64
+}
+
+// FaultInjector imposes seeded, per-link probabilistic loss and corruption
+// on interfaces. Each attached interface draws from its own deterministic
+// stream derived from the injector seed with the same splitmix64 mix the
+// runner uses for replica seeds, so the injected fault pattern is a pure
+// function of (seed, attachment order, traffic on that interface) — it does
+// not change when unrelated links carry different traffic, and replicas
+// fanned across any number of workers reproduce it bit for bit.
+type FaultInjector struct {
+	seed     int64
+	attached int
+	states   map[*Iface]*faultState
+
+	// OnInject observes every injected fault. corrupted distinguishes a
+	// checksum-failed frame from a silent loss.
+	OnInject func(ifc *Iface, pkt *inet.Packet, corrupted bool)
+}
+
+// NewFaultInjector returns an injector whose per-interface streams derive
+// from seed.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{seed: seed, states: make(map[*Iface]*faultState)}
+}
+
+// golden is ⌊2⁶⁴/φ⌋, the splitmix64 Weyl increment (see runner/seed.go).
+const golden = 0x9E3779B97F4A7C15
+
+// splitmix64 is the finalizing mix of the splitmix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += golden
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// streamSeed derives the RNG seed for the idx-th attached interface.
+func (fi *FaultInjector) streamSeed(idx int) int64 {
+	x := splitmix64(uint64(fi.seed) + uint64(idx)*golden)
+	seed := int64(x &^ (1 << 63))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// Attach installs the impairment on an interface's transmit path, chaining
+// in front of any Impair hook already present (the existing hook still sees
+// the packets the injector lets through). Attaching the same interface
+// again replaces its configuration but keeps its stream and counters.
+func (fi *FaultInjector) Attach(ifc *Iface, cfg FaultConfig) {
+	if cfg.LossRate < 0 {
+		cfg.LossRate = 0
+	}
+	if cfg.LossRate > 1 {
+		cfg.LossRate = 1
+	}
+	if cfg.CorruptRate < 0 {
+		cfg.CorruptRate = 0
+	}
+	if cfg.CorruptRate > 1 {
+		cfg.CorruptRate = 1
+	}
+	if st, ok := fi.states[ifc]; ok {
+		st.cfg = cfg
+		return
+	}
+	st := &faultState{cfg: cfg, rng: sim.NewRNG(fi.streamSeed(fi.attached))}
+	fi.attached++
+	fi.states[ifc] = st
+	next := ifc.Impair
+	ifc.Impair = func(pkt *inet.Packet) bool {
+		if fi.inject(ifc, st, pkt) {
+			return true
+		}
+		return next != nil && next(pkt)
+	}
+}
+
+// AttachLink installs the same impairment on both directions of a link.
+func (fi *FaultInjector) AttachLink(l *Link, cfg FaultConfig) {
+	fi.Attach(l.A(), cfg)
+	fi.Attach(l.B(), cfg)
+}
+
+// inject decides one packet's fate, reporting true when it must be
+// discarded.
+func (fi *FaultInjector) inject(ifc *Iface, st *faultState, pkt *inet.Packet) bool {
+	if st.cfg.ControlOnly && pkt.Innermost().Proto != inet.ProtoControl {
+		return false
+	}
+	if st.cfg.LossRate > 0 && st.rng.Float64() < st.cfg.LossRate {
+		st.lost++
+		if fi.OnInject != nil {
+			fi.OnInject(ifc, pkt, false)
+		}
+		return true
+	}
+	if st.cfg.CorruptRate > 0 && st.rng.Float64() < st.cfg.CorruptRate {
+		st.corrupted++
+		if fi.OnInject != nil {
+			fi.OnInject(ifc, pkt, true)
+		}
+		return true
+	}
+	return false
+}
+
+// Lost returns the number of packets silently dropped on the given
+// interface, zero for interfaces never attached.
+func (fi *FaultInjector) Lost(ifc *Iface) uint64 {
+	if st, ok := fi.states[ifc]; ok {
+		return st.lost
+	}
+	return 0
+}
+
+// Corrupted returns the number of packets corrupted (discarded at the
+// checksum) on the given interface.
+func (fi *FaultInjector) Corrupted(ifc *Iface) uint64 {
+	if st, ok := fi.states[ifc]; ok {
+		return st.corrupted
+	}
+	return 0
+}
+
+// Injected returns the total number of faults injected across all attached
+// interfaces.
+func (fi *FaultInjector) Injected() uint64 {
+	var n uint64
+	for _, st := range fi.states {
+		n += st.lost + st.corrupted
+	}
+	return n
+}

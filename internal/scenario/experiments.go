@@ -132,6 +132,11 @@ func Experiments() []Experiment {
 			Title:     "Handover latency breakdown (reference [12] analysis style)",
 			RunSeeded: func(seed int64) Renderer { return RunLatencyBreakdown(10, seed) },
 		},
+		{
+			ID:        "loss",
+			Title:     "Handoff resilience under injected control-plane loss",
+			RunSeeded: func(seed int64) Renderer { return RunLossSweep(LossSweepParams{Seed: seed}) },
+		},
 	}
 	for i := range exps {
 		runSeeded := exps[i].RunSeeded

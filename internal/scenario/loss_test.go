@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fho"
+	"repro/internal/inet"
+	"repro/internal/netsim"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// parToNARIface returns the PAR's interface toward the NAR.
+func parToNARIface(tb *Testbed) *netsim.Iface {
+	for _, ifc := range tb.PAR.Router().Ifaces() {
+		if ifc.Peer() == netsim.Node(tb.NAR.Router()) {
+			return ifc
+		}
+	}
+	return nil
+}
+
+// Losing the PrRtAdv once must no longer cost the anticipation: the host
+// retransmits its solicitation (a duplicate RtSolPr, handled idempotently
+// at the PAR) and the handoff completes anticipated. The host walks the
+// coverage overlap slowly: retransmission can only save an anticipation
+// while the old link still exists (at full speed the overlap is barely
+// wider than one retry interval).
+func TestLostPrRtAdvRecoveredByRetransmission(t *testing.T) {
+	tb := NewTestbed(Params{
+		Scheme:        core.SchemeEnhanced,
+		PoolSize:      40,
+		BufferRequest: 20,
+	})
+	unit := tb.AddMobileHost(wireless.Linear{Start: 90, Speed: 2}, []FlowSpec{
+		AudioFlow(inet.ClassHighPriority),
+	})
+	dropped := impairKinds(parToAPIface(tb), 1, fho.KindPrRtAdv)
+
+	tb.StartTraffic()
+	if err := tb.Run(20 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if *dropped != 1 {
+		t.Fatalf("PrRtAdv drops = %d, want 1", *dropped)
+	}
+	recs := unit.MH.Handoffs()
+	if len(recs) != 1 {
+		t.Fatalf("handoffs = %d, want 1", len(recs))
+	}
+	if !recs[0].Anticipated {
+		t.Error("handoff fell back to reactive despite a single recoverable loss")
+	}
+	if got := tb.PAR.ControlSent(fho.KindPrRtAdv); got < 2 {
+		t.Errorf("PrRtAdv sent %d times, want >= 2 (the duplicate solicitation's answer)", got)
+	}
+	if unit.MH.SignalingFailures() != 0 {
+		t.Errorf("MH signaling failures = %d, want 0", unit.MH.SignalingFailures())
+	}
+}
+
+// Losing the HI once exercises the PAR's retransmission and the NAR's
+// duplicate-HI idempotency; the handoff still completes anticipated.
+func TestLostHIRecoveredByRetransmission(t *testing.T) {
+	tb := NewTestbed(Params{
+		Scheme:        core.SchemeEnhanced,
+		PoolSize:      40,
+		BufferRequest: 20,
+	})
+	unit := tb.AddMobileHost(wireless.Linear{Start: 90, Speed: 2}, []FlowSpec{
+		AudioFlow(inet.ClassHighPriority),
+	})
+	dropped := impairKinds(parToNARIface(tb), 1, fho.KindHI)
+
+	tb.StartTraffic()
+	if err := tb.Run(20 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if *dropped != 1 {
+		t.Fatalf("HI drops = %d, want 1", *dropped)
+	}
+	recs := unit.MH.Handoffs()
+	if len(recs) != 1 {
+		t.Fatalf("handoffs = %d, want 1", len(recs))
+	}
+	if !recs[0].Anticipated {
+		t.Error("handoff fell back to reactive despite a single recoverable loss")
+	}
+	if got := tb.PAR.ControlSent(fho.KindHI); got < 2 {
+		t.Errorf("HI sent %d times, want >= 2 (retransmission)", got)
+	}
+	if tb.PAR.SignalingFailures() != 0 {
+		t.Errorf("PAR signaling failures = %d, want 0", tb.PAR.SignalingFailures())
+	}
+}
+
+// When the anticipation signaling is unrecoverable (every HAck vanishes),
+// retries exhaust, both sides count a signaling failure, the host degrades
+// to the reactive no-anticipation path, and no session outlives the
+// lifetime backstop.
+func TestSignalingExhaustionFallsBackReactive(t *testing.T) {
+	tb := NewTestbed(Params{
+		Scheme:        core.SchemeEnhanced,
+		PoolSize:      40,
+		BufferRequest: 20,
+	})
+	unit := tb.AddMobileHost(wireless.Linear{Start: 50, Speed: MHSpeed}, []FlowSpec{
+		AudioFlow(inet.ClassHighPriority),
+	})
+	var narToPar *netsim.Iface
+	for _, ifc := range tb.NAR.Router().Ifaces() {
+		if ifc.Peer() == netsim.Node(tb.PAR.Router()) {
+			narToPar = ifc
+		}
+	}
+	dropped := impairKinds(narToPar, 1000, fho.KindHAck)
+
+	tb.StartTraffic()
+	if err := tb.Run(16 * sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tb.StopTraffic()
+	// Drain past the session-lifetime backstop: the NAR's orphaned
+	// sessions (their HAcks all died) must lapse.
+	if err := tb.Engine.Run(tb.Engine.Now() + core.DefaultSessionLifetime + 2*sim.Second); err != nil {
+		t.Fatalf("Run drain: %v", err)
+	}
+
+	if *dropped < 3 {
+		t.Fatalf("HAck drops = %d, want >= 3 (the full retry schedule)", *dropped)
+	}
+	recs := unit.MH.Handoffs()
+	if len(recs) != 1 {
+		t.Fatalf("handoffs = %d, want 1 (the reactive fallback)", len(recs))
+	}
+	if recs[0].Anticipated {
+		t.Error("handoff reported anticipated though no HAck ever arrived")
+	}
+	if unit.MH.SignalingFailures() == 0 {
+		t.Error("MH counted no signaling failure despite exhausting its solicitations")
+	}
+	if tb.PAR.SignalingFailures() == 0 {
+		t.Error("PAR counted no signaling failure despite exhausting its HIs")
+	}
+	if left := tb.PAR.Sessions() + tb.NAR.Sessions(); left != 0 {
+		t.Errorf("sessions leaked: par=%d nar=%d", tb.PAR.Sessions(), tb.NAR.Sessions())
+	}
+	if tb.PAR.Pool().Reserved() != 0 || tb.NAR.Pool().Reserved() != 0 {
+		t.Errorf("reservations leaked: par=%d nar=%d",
+			tb.PAR.Pool().Reserved(), tb.NAR.Pool().Reserved())
+	}
+	// Connectivity recovered after the reactive registration.
+	f := tb.Recorder.Flow(unit.Flows[0])
+	if f.Delivered == 0 || f.Lost() == 0 {
+		t.Errorf("reactive fallback stats implausible: delivered=%d lost=%d",
+			f.Delivered, f.Lost())
+	}
+}
+
+// The injected fault pattern is a pure function of the seed: fanning
+// replicas across different worker counts must reproduce every metric bit
+// for bit (the injector draws from per-interface streams, not a shared
+// RNG racing across goroutines).
+func TestLossSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := runner.Simple("loss-sweep-mini", func(seed int64) runner.Metrics {
+		res := RunLossSweep(LossSweepParams{Rates: []float64{0.1}, Handoffs: 2, Seed: seed})
+		m := runner.Metrics{}
+		for _, sch := range res.Schemes {
+			for _, row := range sch.Rows {
+				m["handoffs_"+sch.Slug] = float64(row.Handoffs)
+				m["anticipated_"+sch.Slug] = float64(row.Anticipated)
+				m["sigfail_"+sch.Slug] = float64(row.SignalingFailures)
+				m["injected_"+sch.Slug] = float64(row.Injected)
+				m["data_lost_"+sch.Slug] = float64(row.DataLost)
+				m["sessions_"+sch.Slug] = float64(row.SessionsLeft)
+			}
+		}
+		return m
+	})
+
+	const replicas = 3
+	serial, err := runner.NewPool(1).Run(context.Background(), spec, replicas, 99)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	fanned, err := runner.NewPool(3).Run(context.Background(), spec, replicas, 99)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if serial.Failed() != 0 || fanned.Failed() != 0 {
+		t.Fatalf("replicas failed: serial=%v parallel=%v", serial.FirstErr(), fanned.FirstErr())
+	}
+	engaged := false
+	for i := 0; i < replicas; i++ {
+		a, b := serial.Replicas[i].Metrics, fanned.Replicas[i].Metrics
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("replica %d diverged across worker counts:\n  1 worker: %v\n  3 workers: %v", i, a, b)
+		}
+		if a["injected_enh"] > 0 || a["injected_fho"] > 0 {
+			engaged = true
+		}
+		if a["sessions_enh"] != 0 || a["sessions_fho"] != 0 {
+			t.Errorf("replica %d leaked sessions: %v", i, a)
+		}
+	}
+	if !engaged {
+		t.Error("fault injector never engaged in any replica")
+	}
+}

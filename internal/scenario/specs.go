@@ -39,6 +39,7 @@ func Specs() []runner.Spec {
 		TCPTraceSpec("fig4.13", true),
 		BaselineSpec(),
 		LatencySpec(10),
+		LossSweepSpec(),
 	}
 }
 

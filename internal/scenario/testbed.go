@@ -70,7 +70,14 @@ type Params struct {
 	HomeAgentDelay sim.Time
 	// HysteresisDB is the signal-strength margin for the handover trigger.
 	HysteresisDB float64
-	// Seed drives beacon phases.
+	// ControlLossRate, when positive, drops each control-plane packet on
+	// the access links (AR–AP both sides and the PAR–NAR link) with this
+	// probability, drawn from a seeded per-interface stream, and enables
+	// the unacked-retransmission paths on the routers and hosts. Data
+	// packets are never injected with loss: the loss axis isolates
+	// signaling resilience.
+	ControlLossRate float64
+	// Seed drives beacon phases and the fault injector.
 	Seed int64
 }
 
@@ -150,6 +157,11 @@ type Testbed struct {
 	MHs    []*MHUnit
 	parAPL *netsim.Link
 	narAPL *netsim.Link
+	arLink *netsim.Link
+
+	// Faults is the control-plane loss injector, nil unless
+	// Params.ControlLossRate is positive.
+	Faults *netsim.FaultInjector
 }
 
 // NewTestbed assembles the reference topology with no mobile hosts yet.
@@ -216,12 +228,13 @@ func NewTestbed(p Params) *Testbed {
 	dir := core.NewDirectory()
 	recorder := stats.NewRecorder()
 	arCfg := core.ARConfig{
-		Scheme:        p.Scheme,
-		PoolSize:      p.PoolSize,
-		Alpha:         p.Alpha,
-		DrainInterval: p.DrainInterval,
-		PartialGrants: p.PartialGrants,
-		AuthKey:       p.AuthKey,
+		Scheme:            p.Scheme,
+		PoolSize:          p.PoolSize,
+		Alpha:             p.Alpha,
+		DrainInterval:     p.DrainInterval,
+		PartialGrants:     p.PartialGrants,
+		AuthKey:           p.AuthKey,
+		RetransmitUnacked: p.ControlLossRate > 0,
 	}
 	par := core.NewAccessRouter(engine, parRouter, NetPAR, dir, arCfg)
 	nar := core.NewAccessRouter(engine, narRouter, NetNAR, dir, arCfg)
@@ -245,6 +258,17 @@ func NewTestbed(p Params) *Testbed {
 	apNAR.StartAdvertising(wireless.Advertisement{Router: narRouter.Addr(), Net: NetNAR},
 		p.RAInterval, rng.Uniform(0, p.RAInterval))
 
+	// Control-plane loss on the access links. The attachment order is fixed
+	// so the per-interface fault streams are a pure function of the seed.
+	var faults *netsim.FaultInjector
+	if p.ControlLossRate > 0 {
+		faults = netsim.NewFaultInjector(p.Seed)
+		lossy := netsim.FaultConfig{LossRate: p.ControlLossRate, ControlOnly: true}
+		faults.AttachLink(parAPLink, lossy)
+		faults.AttachLink(narAPLink, lossy)
+		faults.AttachLink(arLink, lossy)
+	}
+
 	return &Testbed{
 		Params:   p,
 		Engine:   engine,
@@ -261,6 +285,8 @@ func NewTestbed(p Params) *Testbed {
 		APNAR:    apNAR,
 		parAPL:   parAPLink,
 		narAPL:   narAPLink,
+		arLink:   arLink,
+		Faults:   faults,
 	}
 }
 
@@ -285,12 +311,13 @@ func (tb *Testbed) AddMobileHost(motion wireless.Motion, flows []FlowSpec) *MHUn
 		L2HandoffDelay: tb.Params.L2HandoffDelay,
 	})
 	mh := core.NewMobileHost(tb.Engine, station, rcoa, anchor.Router().Addr(), core.MHConfig{
-		HostID:        hostID,
-		Scheme:        tb.Params.Scheme,
-		BufferRequest: tb.Params.BufferRequest,
-		AuthKey:       tb.Params.AuthKey,
-		Mobility:      tb.Params.Mobility,
-		HysteresisDB:  tb.Params.HysteresisDB,
+		HostID:            hostID,
+		Scheme:            tb.Params.Scheme,
+		BufferRequest:     tb.Params.BufferRequest,
+		AuthKey:           tb.Params.AuthKey,
+		Mobility:          tb.Params.Mobility,
+		HysteresisDB:      tb.Params.HysteresisDB,
+		RetransmitUnacked: tb.Params.ControlLossRate > 0,
 	})
 	mh.Attach(tb.APPAR, tb.PAR.Addr(), NetPAR)
 	tb.PAR.AttachResident(mh.LCoA(), tb.parAPL.A())

@@ -53,13 +53,21 @@ type event struct {
 	fn     Handler
 	index  int // heap index, -1 once popped or cancelled
 	cancel bool
+	fired  bool
 }
 
 // EventRef identifies a scheduled event so it can be cancelled.
 type EventRef struct{ ev *event }
 
-// Cancelled reports whether the event was cancelled before firing.
+// Cancelled reports whether the event was cancelled before firing. The
+// contract: exactly one of "fired" and "cancelled" eventually holds for
+// every scheduled event. An event that already ran reports false even if
+// Cancel was called on it afterwards (the late Cancel is a no-op), so
+// Cancelled never claims that work which actually happened was prevented.
 func (r EventRef) Cancelled() bool { return r.ev != nil && r.ev.cancel }
+
+// Fired reports whether the event's handler has run.
+func (r EventRef) Fired() bool { return r.ev != nil && r.ev.fired }
 
 // eventQueue implements heap.Interface ordered by (at, seq).
 type eventQueue []*event
@@ -149,13 +157,15 @@ func (e *Engine) At(at Time, fn Handler) EventRef {
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
+// already fired (or was already cancelled) is a no-op: a fired event stays
+// "fired", not "cancelled" (see EventRef.Cancelled).
 func (e *Engine) Cancel(ref EventRef) {
 	ev := ref.ev
-	if ev == nil || ev.cancel || ev.index < 0 {
-		if ev != nil {
-			ev.cancel = true
-		}
+	if ev == nil || ev.fired {
+		return
+	}
+	if ev.cancel || ev.index < 0 {
+		ev.cancel = true
 		return
 	}
 	ev.cancel = true
@@ -178,6 +188,7 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.processed++
+		ev.fired = true
 		ev.fn()
 		return true
 	}

@@ -161,6 +161,55 @@ func TestCancelIsIdempotent(t *testing.T) {
 	}
 }
 
+func TestCancelAfterFireReportsFiredNotCancelled(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ref := e.Schedule(Second, func() { fired = true })
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if !ref.Fired() {
+		t.Fatal("Fired() = false after the event ran")
+	}
+	// A late Cancel is a no-op: exactly one of fired/cancelled holds.
+	e.Cancel(ref)
+	if ref.Cancelled() {
+		t.Fatal("Cancelled() = true for an event that already fired")
+	}
+	if !ref.Fired() {
+		t.Fatal("late Cancel cleared Fired()")
+	}
+}
+
+func TestEventCancellingItselfStaysFired(t *testing.T) {
+	e := NewEngine()
+	var ref EventRef
+	ref = e.Schedule(Second, func() {
+		// A handler cancelling its own (currently firing) event must not
+		// flip it to cancelled.
+		e.Cancel(ref)
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if ref.Cancelled() {
+		t.Fatal("self-cancel marked a firing event as cancelled")
+	}
+	if !ref.Fired() {
+		t.Fatal("self-cancelled event not marked fired")
+	}
+}
+
+func TestZeroEventRefIsNeitherFiredNorCancelled(t *testing.T) {
+	var ref EventRef
+	if ref.Cancelled() || ref.Fired() {
+		t.Fatal("zero EventRef claims a state")
+	}
+}
+
 func TestStopInterruptsRun(t *testing.T) {
 	e := NewEngine()
 	count := 0
