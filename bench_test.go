@@ -19,6 +19,7 @@ import (
 )
 
 func BenchmarkFig42BufferUtilization(b *testing.B) {
+	b.ReportAllocs()
 	var res scenario.Fig42Result
 	for i := 0; i < b.N; i++ {
 		res = scenario.RunFig42(scenario.Fig42Params{MaxHosts: 12})
@@ -31,6 +32,7 @@ func BenchmarkFig42BufferUtilization(b *testing.B) {
 
 func benchDropTrace(b *testing.B, scheme core.Scheme, pool, alpha int) {
 	b.Helper()
+	b.ReportAllocs()
 	var res scenario.DropTraceResult
 	for i := 0; i < b.N; i++ {
 		res = scenario.RunDropTrace(scenario.DropTraceParams{
@@ -44,18 +46,22 @@ func benchDropTrace(b *testing.B, scheme core.Scheme, pool, alpha int) {
 }
 
 func BenchmarkFig43OriginalFHDrops(b *testing.B) {
+	b.ReportAllocs()
 	benchDropTrace(b, core.SchemeFHOriginal, 40, 0)
 }
 
 func BenchmarkFig44ClassDisabledDrops(b *testing.B) {
+	b.ReportAllocs()
 	benchDropTrace(b, core.SchemeDual, 20, 0)
 }
 
 func BenchmarkFig45ClassEnabledDrops(b *testing.B) {
+	b.ReportAllocs()
 	benchDropTrace(b, core.SchemeEnhanced, 20, 6)
 }
 
 func BenchmarkFig46RateSweep(b *testing.B) {
+	b.ReportAllocs()
 	var res scenario.Fig46Result
 	for i := 0; i < b.N; i++ {
 		res = scenario.RunFig46(scenario.Fig46Params{})
@@ -68,6 +74,7 @@ func BenchmarkFig46RateSweep(b *testing.B) {
 
 func benchDelayTrace(b *testing.B, p scenario.DelayTraceParams) {
 	b.Helper()
+	b.ReportAllocs()
 	var res scenario.DelayTraceResult
 	for i := 0; i < b.N; i++ {
 		res = scenario.RunDelayTrace(p)
@@ -78,18 +85,21 @@ func benchDelayTrace(b *testing.B, p scenario.DelayTraceParams) {
 }
 
 func BenchmarkFig47OriginalFHDelay(b *testing.B) {
+	b.ReportAllocs()
 	benchDelayTrace(b, scenario.DelayTraceParams{
 		Scheme: core.SchemeFHOriginal, PoolSize: 40,
 	})
 }
 
 func BenchmarkFig48ProposedDelay(b *testing.B) {
+	b.ReportAllocs()
 	benchDelayTrace(b, scenario.DelayTraceParams{
 		Scheme: core.SchemeDual, PoolSize: 20,
 	})
 }
 
 func BenchmarkFig49LowARLinkDelay(b *testing.B) {
+	b.ReportAllocs()
 	benchDelayTrace(b, scenario.DelayTraceParams{
 		Scheme: core.SchemeEnhanced, PoolSize: 60, Alpha: 2,
 		ARLinkDelay: 2 * sim.Millisecond,
@@ -97,6 +107,7 @@ func BenchmarkFig49LowARLinkDelay(b *testing.B) {
 }
 
 func BenchmarkFig410HighARLinkDelay(b *testing.B) {
+	b.ReportAllocs()
 	benchDelayTrace(b, scenario.DelayTraceParams{
 		Scheme: core.SchemeEnhanced, PoolSize: 60, Alpha: 2,
 		ARLinkDelay: 50 * sim.Millisecond,
@@ -105,6 +116,7 @@ func BenchmarkFig410HighARLinkDelay(b *testing.B) {
 
 func benchTCPTrace(b *testing.B, buffered bool) {
 	b.Helper()
+	b.ReportAllocs()
 	var res scenario.TCPTraceResult
 	for i := 0; i < b.N; i++ {
 		res = scenario.RunTCPTrace(scenario.TCPTraceParams{Buffered: buffered})
@@ -115,14 +127,17 @@ func benchTCPTrace(b *testing.B, buffered bool) {
 }
 
 func BenchmarkFig412TCPNoBuffer(b *testing.B) {
+	b.ReportAllocs()
 	benchTCPTrace(b, false)
 }
 
 func BenchmarkFig413TCPBuffered(b *testing.B) {
+	b.ReportAllocs()
 	benchTCPTrace(b, true)
 }
 
 func BenchmarkFig414Throughput(b *testing.B) {
+	b.ReportAllocs()
 	var res scenario.Fig414Result
 	for i := 0; i < b.N; i++ {
 		res = scenario.RunFig414()
@@ -135,6 +150,7 @@ func BenchmarkFig414Throughput(b *testing.B) {
 // down the mobility-management ladder from plain Mobile IP to the full
 // enhanced scheme.
 func BenchmarkBaselineLadder(b *testing.B) {
+	b.ReportAllocs()
 	var res scenario.BaselineResult
 	for i := 0; i < b.N; i++ {
 		res = scenario.RunBaseline()
@@ -152,9 +168,11 @@ func BenchmarkBaselineLadder(b *testing.B) {
 // BenchmarkAblationAlpha sweeps the α threshold: larger α protects more
 // high-priority overflow at the PAR at the cost of best-effort drops.
 func BenchmarkAblationAlpha(b *testing.B) {
+	b.ReportAllocs()
 	for _, alpha := range []int{0, 2, 6, 10} {
 		alpha := alpha
 		b.Run(fmt.Sprintf("alpha=%d", alpha), func(b *testing.B) {
+			b.ReportAllocs()
 			var res scenario.DropTraceResult
 			for i := 0; i < b.N; i++ {
 				res = scenario.RunDropTrace(scenario.DropTraceParams{
@@ -173,6 +191,7 @@ func BenchmarkAblationAlpha(b *testing.B) {
 // both need the coarse timeout, but NewReno repairs the multi-hole window
 // in one recovery afterwards.
 func BenchmarkAblationTCPVariant(b *testing.B) {
+	b.ReportAllocs()
 	for _, newReno := range []bool{false, true} {
 		newReno := newReno
 		name := "reno"
@@ -180,6 +199,7 @@ func BenchmarkAblationTCPVariant(b *testing.B) {
 			name = "newreno"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var delivered uint64
 			for i := 0; i < b.N; i++ {
 				tb := scenario.NewWLANTestbed(scenario.WLANParams{NewReno: newReno})
@@ -198,9 +218,11 @@ func BenchmarkAblationTCPVariant(b *testing.B) {
 // ≈1.5 dB (this geometry's edge margin) anticipation fails and losses jump
 // to a whole blackout's worth.
 func BenchmarkAblationHysteresis(b *testing.B) {
+	b.ReportAllocs()
 	for _, hyst := range []float64{0, 1, 6} {
 		hyst := hyst
 		b.Run(fmt.Sprintf("hyst=%gdB", hyst), func(b *testing.B) {
+			b.ReportAllocs()
 			var lost uint64
 			var anticipated bool
 			for i := 0; i < b.N; i++ {
@@ -220,9 +242,11 @@ func BenchmarkAblationHysteresis(b *testing.B) {
 // release empties fastest; pacing trades release burstiness for tail
 // delay.
 func BenchmarkAblationDrainPacing(b *testing.B) {
+	b.ReportAllocs()
 	for _, pace := range []sim.Time{0, 2 * sim.Millisecond, 10 * sim.Millisecond} {
 		pace := pace
 		b.Run(fmt.Sprintf("pace=%.0fms", pace.Milliseconds()), func(b *testing.B) {
+			b.ReportAllocs()
 			var res scenario.DelayTraceResult
 			for i := 0; i < b.N; i++ {
 				res = scenario.RunDelayTrace(scenario.DelayTraceParams{
@@ -238,6 +262,7 @@ func BenchmarkAblationDrainPacing(b *testing.B) {
 // link-layer handoff: the buffering removes the timeout stall from the
 // completion time.
 func BenchmarkTransferTime(b *testing.B) {
+	b.ReportAllocs()
 	var buffered, unbuffered sim.Time
 	for i := 0; i < b.N; i++ {
 		buffered, unbuffered = scenario.TransferTime(20_000_000)
@@ -255,6 +280,7 @@ func BenchmarkTransferTime(b *testing.B) {
 // replicas)× on a multi-core box; ≈ 1× on one core).
 func benchRunnerPool(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	const replicasPerOp = 8
 	spec := scenario.BaselineSpec()
 	pool := runner.NewPool(workers)
@@ -286,9 +312,11 @@ func BenchmarkRunnerParallel(b *testing.B) { benchRunnerPool(b, runtime.GOMAXPRO
 // scheme piggybacks its options, so an anticipated handoff costs a fixed,
 // small number of messages regardless of buffering.
 func BenchmarkAblationSignaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, scheme := range []core.Scheme{core.SchemeFHNoBuffer, core.SchemeEnhanced} {
 		scheme := scheme
 		b.Run(scheme.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var total uint64
 			for i := 0; i < b.N; i++ {
 				total = scenario.CountControlMessages(scheme)

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScheduleAndRun-8   	 4812392	       249.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerChurn/heap-8         	 2011730	       173.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBaselineLadder 	       1	   1378063 ns/op	         0 enhanced-lost	       208.8 enhanced-outage-ms	  595656 B/op	    4176 allocs/op
+PASS
+ok  	repro/internal/sim	1.851s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU == "" {
+		t.Errorf("header not captured: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkScheduleAndRun" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", first.Name)
+	}
+	if first.Runs != 4812392 || first.NsPerOp != 249 || first.AllocsPerOp != 0 {
+		t.Errorf("columns misparsed: %+v", first)
+	}
+	if doc.Benchmarks[1].Name != "BenchmarkSchedulerChurn/heap" {
+		t.Errorf("sub-benchmark name mangled: %q", doc.Benchmarks[1].Name)
+	}
+	ladder := doc.Benchmarks[2]
+	if ladder.Package != "repro/internal/sim" {
+		t.Errorf("package not tracked: %q", ladder.Package)
+	}
+	if ladder.Metrics["enhanced-outage-ms"] != 208.8 || ladder.Metrics["enhanced-lost"] != 0 {
+		t.Errorf("custom metrics misparsed: %+v", ladder.Metrics)
+	}
+	if ladder.AllocsPerOp != 4176 || ladder.BytesPerOp != 595656 {
+		t.Errorf("alloc columns misparsed: %+v", ladder)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber 12 ns/op",
+		"BenchmarkX 3 what ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+}

@@ -27,8 +27,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 // defaultSpecs are the headline experiments the replica fan-out runs when
@@ -54,9 +56,25 @@ func run(args []string, stdout io.Writer) error {
 	rootSeed := fs.Int64("seed", 1, "root seed; per-replica seeds are derived from it")
 	jsonOut := fs.String("json", "", "write the replica run's result document to this file ('-': stdout)")
 	specList := fs.String("spec", defaultSpecs, "comma-separated runner specs for -replicas (see -list)")
+	sched := fs.String("sched", "", "event scheduler: heap or calendar (default: heap; results are identical)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceOut := fs.String("trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *sched != "" {
+		kind, err := sim.ParseSchedulerKind(*sched)
+		if err != nil {
+			return err
+		}
+		sim.SetDefaultScheduler(kind)
+	}
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles() //nolint:errcheck // profile teardown; run result takes precedence
 	if *replicas == 0 {
 		*replicas = *seeds
 	}

@@ -230,6 +230,11 @@ type MobileHost struct {
 	// OnDeliver receives every application packet (innermost, tunnels
 	// stripped) addressed to the host.
 	OnDeliver func(pkt *inet.Packet)
+	// ReleaseTunnel, if set, receives the outermost packet after its
+	// tunnel wrappers have been stripped (outer != inner). The wrappers
+	// are dead at that point; a recycling sink can return them to a
+	// packet pool. inner is still live and must not be released here.
+	ReleaseTunnel func(outer, inner *inet.Packet)
 	// OnHandoffDone fires after each completed handoff (attach + release
 	// signalling sent).
 	OnHandoffDone func(rec HandoffRecord)
@@ -467,6 +472,11 @@ func (mh *MobileHost) handlePacket(pkt *inet.Packet) {
 		mh.relT.Stop()
 	}
 	inner := pkt.Innermost()
+	if inner != pkt && mh.ReleaseTunnel != nil {
+		// The wrappers are discarded here either way; let the owner
+		// recycle them.
+		mh.ReleaseTunnel(pkt, inner)
+	}
 	if inner.Proto == inet.ProtoControl {
 		switch msg := inner.Payload.(type) {
 		case *fho.PrRtAdv:

@@ -76,6 +76,10 @@ type Packet struct {
 	// router after failing to deliver it (the station detached mid-queue).
 	// A frame bounces at most once; a second failure is a real loss.
 	Requeued bool
+
+	// pooled marks a packet currently resting in a PacketPool; it guards
+	// against double-release and use-after-free of recycled packets.
+	pooled bool
 }
 
 // Clone returns a copy of the packet (and, recursively, of any encapsulated

@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// TestUDPHopZeroAlloc pins the packet hot path: in steady state, sending
+// one pool-allocated UDP packet across a wired hop — serialization event,
+// propagation event, delivery, release, and reap — allocates nothing.
+func TestUDPHopZeroAlloc(t *testing.T) {
+	engine := sim.NewEngine()
+	topo := NewTopology(engine)
+	a := NewHost("a", inet.Addr{Net: 1, Host: 1})
+	b := NewHost("b", inet.Addr{Net: 2, Host: 1})
+	topo.Connect(a, b, LinkConfig{BandwidthBPS: 10e6, Delay: sim.Millisecond})
+
+	delivered := 0
+	b.Receive = func(pkt *inet.Packet) {
+		delivered++
+		topo.ReleasePacket(pkt)
+	}
+
+	send := func() {
+		pkt := topo.AllocPacket()
+		pkt.Src = a.Addr()
+		pkt.Dst = b.Addr()
+		pkt.Proto = inet.ProtoUDP
+		pkt.Size = 160
+		a.Send(pkt)
+		if err := engine.RunAll(); err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+	}
+	// Warm the event free list, the packet pool, and the in-flight FIFO.
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if avg := testing.AllocsPerRun(200, send); avg != 0 {
+		t.Fatalf("UDP hop allocates %.2f times per packet; want 0", avg)
+	}
+	if delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+}

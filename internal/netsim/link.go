@@ -60,6 +60,16 @@ type Iface struct {
 	dropped     uint64
 	delivers    uint64
 
+	// Zero-alloc transmit state: txPkt is the packet currently
+	// serializing, inflight the FIFO of packets propagating on the wire
+	// (per-direction delay is constant, so deliveries complete in
+	// scheduling order), and txDoneFn/deliverFn the handlers pre-bound
+	// once in Connect so the hot path schedules no fresh closures.
+	txPkt     *inet.Packet
+	inflight  []*inet.Packet
+	txDoneFn  sim.Handler
+	deliverFn sim.Handler
+
 	// DropHook, if set, observes every tail drop on this interface.
 	DropHook func(pkt *inet.Packet)
 	// Impair, if set, is consulted before each transmission; returning
@@ -131,29 +141,45 @@ func (i *Iface) Send(pkt *inet.Packet) {
 // transmit serializes pkt onto the wire and schedules its delivery.
 func (i *Iface) transmit(pkt *inet.Packet) {
 	i.busy = true
+	i.txPkt = pkt
 	var txTime sim.Time
 	if bps := i.link.cfg.BandwidthBPS; bps > 0 {
 		txTime = sim.Time(int64(pkt.Size) * 8 * int64(sim.Second) / bps)
 	}
 	// Transmission completes after the serialization time; the packet
-	// arrives one propagation delay later.
-	i.engine.Schedule(txTime, func() {
-		i.sent++
-		i.engine.Schedule(i.link.cfg.Delay, func() {
-			i.peer.delivers++
-			i.peer.node.HandlePacket(i.peer, pkt)
-		})
-		if len(i.queue) > 0 {
-			next := i.queue[0]
-			copy(i.queue, i.queue[1:])
-			i.queue = i.queue[:len(i.queue)-1]
-			i.queuedBytes -= next.Size
-			i.busy = false
-			i.transmit(next)
-		} else {
-			i.busy = false
-		}
-	})
+	// arrives one propagation delay later (txDone → deliver).
+	i.engine.Schedule(txTime, i.txDoneFn)
+}
+
+// txDone fires when the current packet finishes serializing: it enters the
+// propagation FIFO and the next queued packet starts transmitting.
+func (i *Iface) txDone() {
+	i.sent++
+	i.inflight = append(i.inflight, i.txPkt)
+	i.engine.Schedule(i.link.cfg.Delay, i.deliverFn)
+	if len(i.queue) > 0 {
+		next := i.queue[0]
+		copy(i.queue, i.queue[1:])
+		i.queue = i.queue[:len(i.queue)-1]
+		i.queuedBytes -= next.Size
+		i.busy = false
+		i.transmit(next)
+	} else {
+		i.busy = false
+	}
+}
+
+// deliver fires one propagation delay after txDone and hands the oldest
+// in-flight packet to the peer. The constant per-direction delay
+// guarantees deliveries complete in the same order transmissions finished,
+// so the FIFO head is always the arriving packet.
+func (i *Iface) deliver() {
+	pkt := i.inflight[0]
+	copy(i.inflight, i.inflight[1:])
+	i.inflight[len(i.inflight)-1] = nil
+	i.inflight = i.inflight[:len(i.inflight)-1]
+	i.peer.delivers++
+	i.peer.node.HandlePacket(i.peer, pkt)
 }
 
 // Connect creates a duplex link between two nodes and returns it. Nodes
@@ -168,6 +194,10 @@ func Connect(engine *sim.Engine, a, b Node, cfg LinkConfig) *Link {
 	l.b = &Iface{engine: engine, node: b, link: l}
 	l.a.peer = l.b
 	l.b.peer = l.a
+	// Bind the transmit handlers once so the per-packet hot path schedules
+	// pre-existing closures instead of allocating new ones.
+	l.a.txDoneFn, l.a.deliverFn = l.a.txDone, l.a.deliver
+	l.b.txDoneFn, l.b.deliverFn = l.b.txDone, l.b.deliver
 	if at, ok := a.(IfaceAttacher); ok {
 		at.AttachIface(l.a)
 	}

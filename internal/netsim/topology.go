@@ -18,6 +18,15 @@ type Topology struct {
 
 	nextPktID  uint64
 	nextFlowID inet.FlowID
+
+	// Packet recycling: dead packets are parked in the graveyard and only
+	// returned to the pool by a reap event scheduled behind the current
+	// one, so observers chained later in the releasing event (tracing
+	// hooks, recorders) still read intact fields.
+	pool          inet.PacketPool
+	graveyard     []*inet.Packet
+	reapFn        sim.Handler
+	reapScheduled bool
 }
 
 // NewTopology creates an empty topology bound to an engine.
@@ -25,10 +34,46 @@ func NewTopology(engine *sim.Engine) *Topology {
 	if engine == nil {
 		panic("netsim: NewTopology with nil engine")
 	}
-	return &Topology{
+	t := &Topology{
 		engine: engine,
 		owners: make(map[inet.NetID]Node),
 	}
+	t.reapFn = t.reap
+	return t
+}
+
+// AllocPacket returns a zeroed packet from the topology's free list. The
+// caller fills in every field it needs; recycled packets carry nothing
+// over from their previous life.
+func (t *Topology) AllocPacket() *inet.Packet { return t.pool.Get() }
+
+// ReleasePacket recycles a dead packet into the topology's free list. Call
+// it only from a final sink (deliver or drop) that owns the packet
+// outright; the slot is actually reclaimed in a follow-up event, so hooks
+// running later in the same event still see the packet intact. Inner
+// packets are not released implicitly — release each layer of a chain
+// explicitly once it is dead. Releasing the same packet twice in one cycle
+// is a harmless no-op.
+func (t *Topology) ReleasePacket(pkt *inet.Packet) {
+	if pkt == nil {
+		return
+	}
+	t.graveyard = append(t.graveyard, pkt)
+	if !t.reapScheduled {
+		t.reapScheduled = true
+		t.engine.Schedule(0, t.reapFn)
+	}
+}
+
+// reap moves graveyard packets into the pool once the releasing event (and
+// its same-instant observers) have run.
+func (t *Topology) reap() {
+	t.reapScheduled = false
+	for i, pkt := range t.graveyard {
+		t.pool.Put(pkt)
+		t.graveyard[i] = nil
+	}
+	t.graveyard = t.graveyard[:0]
 }
 
 // Engine returns the simulation engine.

@@ -1,0 +1,80 @@
+// Package prof wires the standard pprof/trace collectors into command-line
+// tools, so every perf investigation starts from a profile instead of a
+// guess (see EXPERIMENTS.md, "Profiling workflow").
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins the requested collections (empty paths are skipped) and
+// returns a stop function that finishes them and writes the files. The
+// allocation profile is written at stop time; a GC runs first so it
+// reflects live-heap reality rather than scavenger lag.
+func Start(cpuFile, memFile, traceFile string) (stop func() error, err error) {
+	var stops []func() error
+	cleanup := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]() //nolint:errcheck // best-effort unwinding on setup failure
+		}
+	}
+
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			cleanup()
+			return nil, fmt.Errorf("start trace: %w", err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if memFile != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

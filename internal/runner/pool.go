@@ -101,12 +101,19 @@ func (p *Pool) Run(ctx context.Context, spec Spec, replicas int, rootSeed int64)
 	if workers > replicas {
 		workers = replicas
 	}
+	scratchSpec, _ := spec.(ScratchSpec)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: allocated once, reused by every replica
+			// this worker runs (never shared across goroutines).
+			var scratch any
+			if scratchSpec != nil {
+				scratch = scratchSpec.NewScratch()
+			}
 			for idx := range jobs {
-				res.Replicas[idx] = runOne(spec, idx, rootSeed)
+				res.Replicas[idx] = runOne(spec, scratch, idx, rootSeed)
 			}
 		}()
 	}
@@ -135,8 +142,9 @@ feed:
 }
 
 // runOne executes a single replica, converting a panic into that
-// replica's error.
-func runOne(spec Spec, idx int, rootSeed int64) (rep Replica) {
+// replica's error. scratch is the worker's private ScratchSpec state (nil
+// for plain specs).
+func runOne(spec Spec, scratch any, idx int, rootSeed int64) (rep Replica) {
 	rep.Index = idx
 	rep.Seed = ReplicaSeed(rootSeed, idx)
 	start := time.Now()
@@ -152,6 +160,10 @@ func runOne(spec Spec, idx int, rootSeed int64) (rep Replica) {
 			rep.Error = rep.Err.Error()
 		}
 	}()
-	rep.Metrics, rep.Err = spec.Run(rep.Seed)
+	if ss, ok := spec.(ScratchSpec); ok && scratch != nil {
+		rep.Metrics, rep.Err = ss.RunScratch(scratch, rep.Seed)
+	} else {
+		rep.Metrics, rep.Err = spec.Run(rep.Seed)
+	}
 	return rep
 }

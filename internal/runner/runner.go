@@ -31,6 +31,24 @@ type Spec interface {
 	Run(seed int64) (Metrics, error)
 }
 
+// ScratchSpec is an optional Spec extension for allocation-heavy
+// scenarios: the pool calls NewScratch once per worker goroutine and
+// passes the value to RunScratch for every replica that worker executes.
+// Scratch typically holds a reusable simulation engine (reset between
+// replicas, keeping its warmed-up free lists) or metric staging slices.
+//
+// RunScratch must remain a pure function of the seed — scratch may only
+// carry capacity (buffers, free lists), never state that survives into
+// the next replica's results — so aggregates stay bit-for-bit identical
+// to plain Run at any worker count.
+type ScratchSpec interface {
+	Spec
+	// NewScratch builds one worker's private scratch state.
+	NewScratch() any
+	// RunScratch executes one replica with the worker's scratch.
+	RunScratch(scratch any, seed int64) (Metrics, error)
+}
+
 // specFunc adapts a plain function to Spec.
 type specFunc struct {
 	name string

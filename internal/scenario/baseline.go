@@ -32,7 +32,11 @@ type BaselineResult struct {
 func RunBaseline() BaselineResult { return RunBaselineSeed(1) }
 
 // RunBaselineSeed executes the ladder with the given beacon-phase seed.
-func RunBaselineSeed(seed int64) BaselineResult {
+func RunBaselineSeed(seed int64) BaselineResult { return runBaselineLadder(seed, nil) }
+
+// runBaselineLadder runs the ladder, optionally reusing a simulation
+// engine across the four configurations (see Params.Engine).
+func runBaselineLadder(seed int64, engine *sim.Engine) BaselineResult {
 	configs := []struct {
 		name   string
 		params Params
@@ -59,6 +63,7 @@ func RunBaselineSeed(seed int64) BaselineResult {
 	var res BaselineResult
 	for _, cfg := range configs {
 		cfg.params.Seed = seed
+		cfg.params.Engine = engine
 		res.Rows = append(res.Rows, runBaselineOnce(cfg.name, cfg.params))
 	}
 	return res

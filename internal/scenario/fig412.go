@@ -15,6 +15,8 @@ type TCPTraceParams struct {
 	// Buffered toggles the §3.2.2.4 buffering (Figure 4.13 vs 4.12).
 	Buffered bool
 	Seed     int64
+	// Engine optionally reuses a simulation engine (see Params.Engine).
+	Engine *sim.Engine
 }
 
 // TCPTraceResult holds the sequence and throughput traces of one run.
@@ -37,7 +39,7 @@ type TCPTraceResult struct {
 
 // RunTCPTrace executes one Figure 4.12/4.13 run and extracts the traces.
 func RunTCPTrace(p TCPTraceParams) TCPTraceResult {
-	tb := NewWLANTestbed(WLANParams{Buffered: p.Buffered, Seed: p.Seed})
+	tb := NewWLANTestbed(WLANParams{Buffered: p.Buffered, Seed: p.Seed, Engine: p.Engine})
 	if err := tb.Run(20 * sim.Second); err != nil {
 		panic(fmt.Sprintf("tcp trace: %v", err))
 	}

@@ -27,6 +27,9 @@ type Fig42Params struct {
 	BufferRequest int
 	// Seed drives beacon phases.
 	Seed int64
+	// Engine optionally reuses a simulation engine across the sweep's
+	// runs (see Params.Engine).
+	Engine *sim.Engine
 }
 
 func (p *Fig42Params) applyDefaults() {
@@ -93,6 +96,7 @@ func runFig42Once(p Fig42Params, scheme core.Scheme, hosts int) uint64 {
 		PoolSize:      p.PoolSize,
 		BufferRequest: request,
 		Seed:          p.Seed,
+		Engine:        p.Engine,
 	})
 	for i := 0; i < hosts; i++ {
 		tb.AddMobileHost(wireless.Linear{Start: 50, Speed: MHSpeed}, []FlowSpec{

@@ -32,6 +32,8 @@ type DropTraceParams struct {
 	// buffer pressure. See EXPERIMENTS.md.
 	Interval sim.Time
 	Seed     int64
+	// Engine optionally reuses a simulation engine (see Params.Engine).
+	Engine *sim.Engine
 }
 
 func (p *DropTraceParams) applyDefaults() {
@@ -72,6 +74,7 @@ func RunDropTrace(p DropTraceParams) DropTraceResult {
 		Alpha:         p.Alpha,
 		BufferRequest: bufReq,
 		Seed:          p.Seed,
+		Engine:        p.Engine,
 	})
 	spec := func(c inet.Class) FlowSpec { return FlowSpec{Class: c, Size: 160, Interval: p.Interval} }
 	unit := tb.AddMobileHost(wireless.PingPong{A: 20, B: 192, Speed: MHSpeed}, []FlowSpec{

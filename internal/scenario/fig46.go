@@ -17,6 +17,8 @@ type Fig46Params struct {
 	PoolSize int
 	Alpha    int
 	Seed     int64
+	// Engine optionally reuses a simulation engine (see Params.Engine).
+	Engine *sim.Engine
 }
 
 func (p *Fig46Params) applyDefaults() {
@@ -66,6 +68,7 @@ func RunFig46(p Fig46Params) Fig46Result {
 			Alpha:         p.Alpha,
 			BufferRequest: p.PoolSize,
 			Seed:          p.Seed,
+			Engine:        p.Engine,
 		})
 		spec := func(c inet.Class) FlowSpec { return FlowSpec{Class: c, Size: 160, Interval: interval} }
 		unit := tb.AddMobileHost(wireless.Linear{Start: 50, Speed: MHSpeed}, []FlowSpec{

@@ -28,6 +28,8 @@ type DelayTraceParams struct {
 	// DrainInterval optionally paces the buffer release.
 	DrainInterval sim.Time
 	Seed          int64
+	// Engine optionally reuses a simulation engine (see Params.Engine).
+	Engine *sim.Engine
 }
 
 func (p *DelayTraceParams) applyDefaults() {
@@ -69,6 +71,7 @@ func RunDelayTrace(p DelayTraceParams) DelayTraceResult {
 		ARLinkDelay:   p.ARLinkDelay,
 		DrainInterval: p.DrainInterval,
 		Seed:          p.Seed,
+		Engine:        p.Engine,
 	})
 	spec := func(c inet.Class) FlowSpec {
 		return FlowSpec{Class: c, Size: 160, Interval: 10 * sim.Millisecond}

@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestSchedulerGoldenDeterminism is the golden determinism guard: a full
+// figure scenario must render byte-identical output under the heap and
+// calendar schedulers, under engine reuse (Reset between runs), and under
+// the process-default engine. Any divergence means a scheduler broke the
+// (at, seq) total-order contract or recycling leaked state.
+func TestSchedulerGoldenDeterminism(t *testing.T) {
+	render := func(engine *sim.Engine) string {
+		return RunDelayTrace(DelayTraceParams{
+			Scheme: core.SchemeEnhanced, PoolSize: 60, Alpha: 2,
+			ARLinkDelay: 2 * sim.Millisecond, Engine: engine,
+		}).Render()
+	}
+	heap := sim.NewEngineKind(sim.SchedulerHeap)
+	cal := sim.NewCalendarEngine()
+
+	want := render(heap)
+	if got := render(cal); got != want {
+		t.Fatalf("calendar scheduler diverged from heap:\n--- heap ---\n%s\n--- calendar ---\n%s", want, got)
+	}
+	if got := render(nil); got != want {
+		t.Fatalf("default engine diverged from explicit heap engine:\n%s", got)
+	}
+	// Reused engines (the runner-pool scratch path) must replay identically.
+	if got := render(heap); got != want {
+		t.Fatal("reused heap engine diverged after Reset")
+	}
+	if got := render(cal); got != want {
+		t.Fatal("reused calendar engine diverged after Reset")
+	}
+}

@@ -27,6 +27,12 @@ type LatencyBreakdown struct {
 // RunLatencyBreakdown measures the components over the given number of
 // ping-pong handoffs under the enhanced scheme.
 func RunLatencyBreakdown(handoffs int, seed int64) LatencyBreakdown {
+	return runLatencyBreakdownEngine(handoffs, seed, nil)
+}
+
+// runLatencyBreakdownEngine optionally reuses a simulation engine (see
+// Params.Engine).
+func runLatencyBreakdownEngine(handoffs int, seed int64, engine *sim.Engine) LatencyBreakdown {
 	if handoffs <= 0 {
 		handoffs = 10
 	}
@@ -36,6 +42,7 @@ func RunLatencyBreakdown(handoffs int, seed int64) LatencyBreakdown {
 		Alpha:         2,
 		BufferRequest: 20,
 		Seed:          seed,
+		Engine:        engine,
 	})
 	unit := tb.AddMobileHost(wireless.PingPong{A: 20, B: 192, Speed: MHSpeed}, []FlowSpec{
 		AudioFlow(inet.ClassHighPriority),

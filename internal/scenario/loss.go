@@ -25,6 +25,8 @@ type LossSweepParams struct {
 	Handoffs int
 	// Seed drives beacon phases and the per-interface fault streams.
 	Seed int64
+	// Engine optionally reuses a simulation engine (see Params.Engine).
+	Engine *sim.Engine
 }
 
 func (p *LossSweepParams) applyDefaults() {
@@ -94,6 +96,7 @@ func RunLossSweep(p LossSweepParams) LossSweepResult {
 				BufferRequest:   20,
 				ControlLossRate: rate,
 				Seed:            p.Seed,
+				Engine:          p.Engine,
 			}
 			sch.Rows = append(sch.Rows, runLossCell(params, p.Handoffs))
 		}
@@ -190,8 +193,8 @@ func (r LossSweepResult) WriteCSV(w io.Writer) error {
 // each cell's counters as scalars (keys carry the scheme slug and the loss
 // rate in percent, e.g. handoffs_enh_r5).
 func LossSweepSpec() runner.Spec {
-	return runner.Simple("loss-sweep", func(seed int64) runner.Metrics {
-		res := RunLossSweep(LossSweepParams{Seed: seed})
+	return scratchSpec{name: "loss-sweep", run: func(engine *sim.Engine, seed int64) runner.Metrics {
+		res := RunLossSweep(LossSweepParams{Seed: seed, Engine: engine})
 		m := runner.Metrics{}
 		for _, sch := range res.Schemes {
 			for _, row := range sch.Rows {
@@ -205,5 +208,5 @@ func LossSweepSpec() runner.Spec {
 			}
 		}
 		return m
-	})
+	}}
 }

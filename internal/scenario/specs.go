@@ -11,12 +11,37 @@ import (
 // This file exposes the thesis experiments as runner.Spec values: each
 // spec is a seedable constructor that runs one full replica of a scenario
 // and reports its headline metrics as scalars. Specs are pure functions
-// of the seed (each replica builds its own engine, topology, and RNG), so
-// they are safe to fan out across the runner's worker pool. The params'
-// Seed field is overridden by the per-replica derived seed.
+// of the seed — a replica's engine carries only capacity (free lists,
+// queue storage) between runs, never results — so they are safe to fan
+// out across the runner's worker pool. The params' Seed field is
+// overridden by the per-replica derived seed.
 
 // classSuffix labels the three-flow scenarios' per-class metrics.
 var classSuffix = [3]string{"rt", "hp", "be"}
+
+// scratchSpec adapts an engine-parameterized scenario function into a
+// runner.ScratchSpec: the worker pool hands each worker a private
+// calendar-queue engine (reset between replicas, keeping its warmed-up
+// event free list and queue capacity), making the calendar scheduler the
+// runner-pool default. Plain Run — used outside the pool — passes a nil
+// engine, so the scenario builds a fresh one per replica; both paths
+// produce bit-for-bit identical metrics (see Engine.Reset).
+type scratchSpec struct {
+	name string
+	run  func(engine *sim.Engine, seed int64) runner.Metrics
+}
+
+func (s scratchSpec) Name() string { return s.name }
+
+func (s scratchSpec) Run(seed int64) (runner.Metrics, error) { return s.run(nil, seed), nil }
+
+func (s scratchSpec) NewScratch() any { return sim.NewCalendarEngine() }
+
+func (s scratchSpec) RunScratch(scratch any, seed int64) (runner.Metrics, error) {
+	return s.run(scratch.(*sim.Engine), seed), nil
+}
+
+var _ runner.ScratchSpec = scratchSpec{}
 
 // Specs returns every experiment available to the Monte-Carlo runner, in
 // thesis order.
@@ -58,9 +83,10 @@ func SpecByName(name string) (runner.Spec, error) {
 // Fig42Spec wraps the buffer-utilization experiment (Figure 4.2) as a
 // seedable runner spec reporting the loss-free capacities per scheme.
 func Fig42Spec(p Fig42Params) runner.Spec {
-	return runner.Simple("fig4.2", func(seed int64) runner.Metrics {
+	return scratchSpec{name: "fig4.2", run: func(engine *sim.Engine, seed int64) runner.Metrics {
 		p := p
 		p.Seed = seed
+		p.Engine = engine
 		res := RunFig42(p)
 		m := runner.Metrics{
 			"capacity_nar":  float64(res.MaxLossFree("NAR")),
@@ -70,15 +96,16 @@ func Fig42Spec(p Fig42Params) runner.Spec {
 		fh := res.Drops["FH"]
 		m["drops_fh_at_max"] = float64(fh[len(fh)-1])
 		return m
-	})
+	}}
 }
 
 // DropTraceSpec wraps a cumulative-drop experiment (Figures 4.3–4.5) as
 // a seedable runner spec reporting the final per-class drop counts.
 func DropTraceSpec(name string, p DropTraceParams) runner.Spec {
-	return runner.Simple(name, func(seed int64) runner.Metrics {
+	return scratchSpec{name: name, run: func(engine *sim.Engine, seed int64) runner.Metrics {
 		p := p
 		p.Seed = seed
+		p.Engine = engine
 		res := RunDropTrace(p)
 		final := res.Final()
 		m := runner.Metrics{"handoffs": float64(res.Handoffs())}
@@ -86,15 +113,16 @@ func DropTraceSpec(name string, p DropTraceParams) runner.Spec {
 			m["drops_"+suffix] = float64(final[k])
 		}
 		return m
-	})
+	}}
 }
 
 // Fig46Spec wraps the data-rate sweep (Figure 4.6) as a seedable runner
 // spec reporting the per-class losses at the highest rate.
 func Fig46Spec(p Fig46Params) runner.Spec {
-	return runner.Simple("fig4.6", func(seed int64) runner.Metrics {
+	return scratchSpec{name: "fig4.6", run: func(engine *sim.Engine, seed int64) runner.Metrics {
 		p := p
 		p.Seed = seed
+		p.Engine = engine
 		res := RunFig46(p)
 		last := res.Rows[len(res.Rows)-1]
 		m := runner.Metrics{}
@@ -102,15 +130,16 @@ func Fig46Spec(p Fig46Params) runner.Spec {
 			m["lost_"+suffix+"_at_max_rate"] = float64(last.Lost[k])
 		}
 		return m
-	})
+	}}
 }
 
 // DelayTraceSpec wraps an end-to-end-delay experiment (Figures 4.7–4.10)
 // as a seedable runner spec reporting per-class maximum delay and loss.
 func DelayTraceSpec(name string, p DelayTraceParams) runner.Spec {
-	return runner.Simple(name, func(seed int64) runner.Metrics {
+	return scratchSpec{name: name, run: func(engine *sim.Engine, seed int64) runner.Metrics {
 		p := p
 		p.Seed = seed
+		p.Engine = engine
 		res := RunDelayTrace(p)
 		m := runner.Metrics{}
 		for k, suffix := range classSuffix {
@@ -118,27 +147,27 @@ func DelayTraceSpec(name string, p DelayTraceParams) runner.Spec {
 			m["lost_"+suffix] = float64(res.Lost[k])
 		}
 		return m
-	})
+	}}
 }
 
 // TCPTraceSpec wraps a link-layer handoff TCP experiment (Figures
 // 4.12/4.13) as a seedable runner spec.
 func TCPTraceSpec(name string, buffered bool) runner.Spec {
-	return runner.Simple(name, func(seed int64) runner.Metrics {
-		res := RunTCPTrace(TCPTraceParams{Buffered: buffered, Seed: seed})
+	return scratchSpec{name: name, run: func(engine *sim.Engine, seed int64) runner.Metrics {
+		res := RunTCPTrace(TCPTraceParams{Buffered: buffered, Seed: seed, Engine: engine})
 		return runner.Metrics{
 			"tcp_timeouts":    float64(res.Timeouts),
 			"stall_ms":        res.StallAfterDetach.Milliseconds(),
 			"delivered_bytes": float64(res.Delivered),
 		}
-	})
+	}}
 }
 
 // BaselineSpec wraps the mobility-management ladder as a seedable runner
 // spec reporting per-rung loss and outage.
 func BaselineSpec() runner.Spec {
-	return runner.Simple("baseline", func(seed int64) runner.Metrics {
-		res := RunBaselineSeed(seed)
+	return scratchSpec{name: "baseline", run: func(engine *sim.Engine, seed int64) runner.Metrics {
+		res := runBaselineLadder(seed, engine)
 		slugs := [4]string{"plain_mip", "hmip", "fh_nobuf", "enhanced"}
 		if len(res.Rows) != len(slugs) {
 			panic(fmt.Sprintf("baseline spec: %d rows, want %d", len(res.Rows), len(slugs)))
@@ -149,18 +178,18 @@ func BaselineSpec() runner.Spec {
 			m["outage_ms_"+slugs[i]] = row.Outage.Milliseconds()
 		}
 		return m
-	})
+	}}
 }
 
 // LatencySpec wraps the handover-latency breakdown as a seedable runner
 // spec reporting the mean component latencies.
 func LatencySpec(handoffs int) runner.Spec {
-	return runner.Simple("latency", func(seed int64) runner.Metrics {
-		res := RunLatencyBreakdown(handoffs, seed)
+	return scratchSpec{name: "latency", run: func(engine *sim.Engine, seed int64) runner.Metrics {
+		res := runLatencyBreakdownEngine(handoffs, seed, engine)
 		return runner.Metrics{
 			"anticipation_ms": res.Anticipation.Mean(),
 			"blackout_ms":     res.Blackout.Mean(),
 			"interruption_ms": res.Interruption.Mean(),
 		}
-	})
+	}}
 }

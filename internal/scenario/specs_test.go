@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/runner"
@@ -79,14 +80,46 @@ func TestBaselineSpecUnderPool(t *testing.T) {
 		}
 		return res
 	}
-	serial, parallel := run(1), run(4)
-	if !reflect.DeepEqual(serial.Metrics, parallel.Metrics) {
-		t.Fatalf("aggregates diverged across worker counts:\n%+v\nvs\n%+v",
-			serial.Metrics, parallel.Metrics)
+	serial := run(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		parallel := run(workers)
+		if !reflect.DeepEqual(serial.Metrics, parallel.Metrics) {
+			t.Fatalf("aggregates diverged between 1 and %d workers:\n%+v\nvs\n%+v",
+				workers, serial.Metrics, parallel.Metrics)
+		}
+		for i := range serial.Replicas {
+			if !reflect.DeepEqual(serial.Replicas[i].Metrics, parallel.Replicas[i].Metrics) {
+				t.Fatalf("replica %d metrics diverged at %d workers", i, workers)
+			}
+		}
 	}
-	for i := range serial.Replicas {
-		if !reflect.DeepEqual(serial.Replicas[i].Metrics, parallel.Replicas[i].Metrics) {
-			t.Fatalf("replica %d metrics diverged", i)
+}
+
+// TestScratchSpecMatchesPlainRun pins the ScratchSpec contract: a
+// worker's reused calendar engine must reproduce bit-for-bit the metrics
+// of a fresh per-replica engine, including when a seed repeats (which
+// would expose state leaking through the scratch).
+func TestScratchSpecMatchesPlainRun(t *testing.T) {
+	spec, err := SpecByName("baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := spec.(runner.ScratchSpec)
+	if !ok {
+		t.Fatal("baseline spec does not implement runner.ScratchSpec")
+	}
+	scratch := ss.NewScratch()
+	for _, seed := range []int64{3, 99, 3} {
+		plain, err := spec.Run(seed)
+		if err != nil {
+			t.Fatalf("plain run (seed %d): %v", seed, err)
+		}
+		got, err := ss.RunScratch(scratch, seed)
+		if err != nil {
+			t.Fatalf("scratch run (seed %d): %v", seed, err)
+		}
+		if !reflect.DeepEqual(plain, got) {
+			t.Fatalf("seed %d: scratch run diverged from plain run:\n%v\nvs\n%v", seed, plain, got)
 		}
 	}
 }

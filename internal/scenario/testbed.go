@@ -79,6 +79,12 @@ type Params struct {
 	ControlLossRate float64
 	// Seed drives beacon phases and the fault injector.
 	Seed int64
+	// Engine, when set, is reused for this testbed instead of creating a
+	// fresh one. NewTestbed resets it first, so a worker can run many
+	// replicas on one engine and keep its warmed-up event free list and
+	// queue capacity. Results are identical either way (Reset rewinds the
+	// clock and sequence counter completely).
+	Engine *sim.Engine
 }
 
 func (p *Params) applyDefaults() {
@@ -167,7 +173,12 @@ type Testbed struct {
 // NewTestbed assembles the reference topology with no mobile hosts yet.
 func NewTestbed(p Params) *Testbed {
 	p.applyDefaults()
-	engine := sim.NewEngine()
+	engine := p.Engine
+	if engine == nil {
+		engine = sim.NewEngine()
+	} else {
+		engine.Reset()
+	}
 	topo := netsim.NewTopology(engine)
 	medium := wireless.NewMedium(engine)
 	rng := sim.NewRNG(p.Seed)
@@ -241,13 +252,31 @@ func NewTestbed(p Params) *Testbed {
 	par.AddAP("ap-par", parAPLink.A())
 	nar.AddAP("ap-nar", narAPLink.A())
 
+	// releaseUDPChain recycles a dead UDP data packet (and any tunnel
+	// wrappers around it) into the topology's pool. Only UDP data is
+	// recycled: control payloads stay off the pool so retransmission
+	// bookkeeping can never meet a recycled struct, and TCP is left to the
+	// garbage collector. The reclaim is deferred one event, so hooks
+	// chained after this one (tracing) still read the packet intact.
+	releaseUDPChain := func(pkt *inet.Packet) {
+		if pkt.Innermost().Proto != inet.ProtoUDP {
+			return
+		}
+		for p := pkt; p != nil; p = p.Inner {
+			topo.ReleasePacket(p)
+		}
+	}
 	for _, ar := range []*core.AccessRouter{par, nar} {
-		ar.OnDrop = func(pkt *inet.Packet, where string) { recorder.Dropped(pkt, where) }
+		ar.OnDrop = func(pkt *inet.Packet, where string) {
+			recorder.Dropped(pkt, where)
+			releaseUDPChain(pkt)
+		}
 	}
 	dataAirDrop := func(pkt *inet.Packet) {
 		if pkt.Innermost().Proto != inet.ProtoControl {
 			recorder.Dropped(pkt, DropOnAir)
 		}
+		releaseUDPChain(pkt)
 	}
 	apPAR.AirDropHook = dataAirDrop
 	apNAR.AirDropHook = dataAirDrop
@@ -323,7 +352,20 @@ func (tb *Testbed) AddMobileHost(motion wireless.Motion, flows []FlowSpec) *MHUn
 	tb.PAR.AttachResident(mh.LCoA(), tb.parAPL.A())
 	anchor.Register(rcoa, mh.LCoA(), 3600*sim.Second)
 	mh.StartRegistration()
-	mh.OnDeliver = traffic.Sink(tb.Engine, tb.Recorder)
+	sink := traffic.Sink(tb.Engine, tb.Recorder)
+	mh.OnDeliver = func(pkt *inet.Packet) {
+		sink(pkt)
+		// The delivered UDP packet is dead once recorded; recycle it
+		// (deferred one event, so tracing wrappers still read it).
+		if pkt.Proto == inet.ProtoUDP {
+			tb.Topo.ReleasePacket(pkt)
+		}
+	}
+	mh.ReleaseTunnel = func(outer, inner *inet.Packet) {
+		for p := outer; p != nil && p != inner; p = p.Inner {
+			tb.Topo.ReleasePacket(p)
+		}
+	}
 
 	unit := &MHUnit{MH: mh, Station: station, RCoA: rcoa}
 	for _, spec := range flows {
@@ -335,6 +377,7 @@ func (tb *Testbed) AddMobileHost(motion wireless.Motion, flows []FlowSpec) *MHUn
 			Dst:      rcoa,
 			Size:     spec.Size,
 			Interval: spec.Interval,
+			Alloc:    tb.Topo.AllocPacket,
 		}, tb.CN.Send, tb.Topo.NewPacketID, tb.Recorder)
 		unit.Sources = append(unit.Sources, src)
 		unit.Flows = append(unit.Flows, flowID)

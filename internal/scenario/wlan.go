@@ -50,6 +50,8 @@ type WLANParams struct {
 	ThroughputWindow sim.Time
 	// Seed drives beacon phases.
 	Seed int64
+	// Engine optionally reuses a simulation engine (see Params.Engine).
+	Engine *sim.Engine
 }
 
 func (p *WLANParams) applyDefaults() {
@@ -99,7 +101,12 @@ type WLANTestbed struct {
 // the handover triggers around t ≈ 11.5 s, matching Figure 4.12.
 func NewWLANTestbed(p WLANParams) *WLANTestbed {
 	p.applyDefaults()
-	engine := sim.NewEngine()
+	engine := p.Engine
+	if engine == nil {
+		engine = sim.NewEngine()
+	} else {
+		engine.Reset()
+	}
 	topo := netsim.NewTopology(engine)
 	medium := wireless.NewMedium(engine)
 	rng := sim.NewRNG(p.Seed)

@@ -1,0 +1,329 @@
+package sim
+
+// calendarQueue is an ns-2-style calendar queue (Brown, CACM 1988): events
+// hash into "day" buckets by at/width modulo the bucket count, each bucket
+// an intrusive singly-linked list kept sorted by eventLess. A dequeue scans
+// at most one "year" of buckets from the last dequeue position looking for
+// a head event inside its current-year window, falling back to a direct
+// search across all bucket heads when the population is sparse or far in
+// the future. With the automatic resizing below keeping the load factor
+// between 0.5 and 2 events per bucket, push and pop are O(1) amortized for
+// the well-spread event populations discrete-event network simulations
+// produce.
+//
+// Buckets are linked lists rather than sorted slices on purpose: an insert
+// or a pop touches at most two pointers, where shifting a sorted []*event
+// pays a bulk write barrier over every moved pointer — on packet-dense
+// workloads that barrier traffic (runtime.typedslicecopy → findObject) was
+// the single largest line in the CPU profile.
+//
+// Ordering is exactly eventLess (at, then seq) — ties land in the same
+// bucket (same at ⇒ same at/width) where the sorted insert keeps them in
+// seq order — so a calendar engine is bit-for-bit interchangeable with the
+// heap engine.
+type calendarQueue struct {
+	buckets []*event // head of each bucket's sorted intrusive list
+	tails   []*event // last node of each bucket: O(1) append for ties and
+	// near-sorted arrivals, the dominant pattern in a simulation
+	width Time // bucket ("day") width in virtual time units
+	n     int  // total queued events, including lazily-cancelled ones
+
+	// Scan state: the last committed dequeue position. lastBucket is the
+	// bucket the scan resumes from and bucketTop is the end of that
+	// bucket's window in the scan year. Invariant: no queued event orders
+	// before this position, so the year scan never misses the minimum.
+	lastBucket int
+	bucketTop  Time
+	lastAt     Time
+
+	// One-entry peek cache so Run's peek-then-pop pattern scans once.
+	cur       *event
+	curBucket int
+
+	// ops counts pushes and pops since the last resize. A skew-triggered
+	// width resample (see push) only fires once ops exceeds n, which keeps
+	// the O(n) rebuild amortized O(1) per operation.
+	ops int
+}
+
+const (
+	calMinBuckets   = 4
+	calInitialWidth = Millisecond
+	// calSample is how many head events the resize width heuristic
+	// averages over (Brown's rule of thumb uses up to 25).
+	calSample = 25
+	// calMaxChain is the insert walk length past which the bucket is
+	// considered skewed and the width resampled. The resize policy caps
+	// the mean load at 2 events per bucket, so a chain this long means
+	// the width no longer matches the population's spacing.
+	calMaxChain = 8
+)
+
+func newCalendarQueue() *calendarQueue {
+	c := &calendarQueue{
+		buckets: make([]*event, calMinBuckets),
+		tails:   make([]*event, calMinBuckets),
+		width:   calInitialWidth,
+	}
+	c.bucketTop = c.width
+	return c
+}
+
+func (c *calendarQueue) size() int { return c.n }
+
+func (c *calendarQueue) bucketOf(at Time) int {
+	return int(uint64(at) / uint64(c.width) % uint64(len(c.buckets)))
+}
+
+// setScan commits the scan position to ev's bucket window.
+func (c *calendarQueue) setScan(ev *event) {
+	c.lastAt = ev.at
+	c.lastBucket = c.bucketOf(ev.at)
+	start := ev.at / c.width * c.width
+	if start > MaxTime-c.width {
+		c.bucketTop = MaxTime
+	} else {
+		c.bucketTop = start + c.width
+	}
+}
+
+// insert places ev into its bucket, keeping the list sorted by eventLess,
+// and reports how many list nodes the walk passed (the skew signal).
+func (c *calendarQueue) insert(ev *event) int {
+	b := c.bucketOf(ev.at)
+	head := c.buckets[b]
+	if head == nil {
+		ev.next = nil
+		c.buckets[b] = ev
+		c.tails[b] = ev
+		return 0
+	}
+	if tail := c.tails[b]; !eventLess(ev, tail) {
+		ev.next = nil
+		tail.next = ev
+		c.tails[b] = ev
+		return 0
+	}
+	if eventLess(ev, head) {
+		ev.next = head
+		c.buckets[b] = ev
+		return 0
+	}
+	// ev orders strictly before the tail, so cur.next is never nil here
+	// and the walk cannot change the tail.
+	depth := 1
+	cur := head
+	for !eventLess(ev, cur.next) {
+		cur = cur.next
+		depth++
+	}
+	ev.next = cur.next
+	cur.next = ev
+	return depth
+}
+
+func (c *calendarQueue) push(ev *event) {
+	if c.n+1 > 2*len(c.buckets) {
+		c.resize(2 * len(c.buckets))
+	}
+	depth := c.insert(ev)
+	c.n++
+	c.ops++
+	if c.n == 1 || ev.at < c.lastAt {
+		// The new event orders before the committed scan position; rewind
+		// so the next scan starts at (or before) it.
+		c.setScan(ev)
+	}
+	if c.cur != nil && eventLess(ev, c.cur) {
+		c.cur = nil
+	}
+	if depth > calMaxChain && c.ops > c.n {
+		// The width has gone stale for the current event spacing (e.g. a
+		// run that opens with seconds-apart timers and later turns packet-
+		// dense): rebuild at the same size to resample it from the head.
+		c.resize(len(c.buckets))
+	}
+}
+
+// locate finds the bucket holding the minimum event, caching the result in
+// cur/curBucket. It scans with local state only; the committed scan
+// position moves exclusively on pop, so a later push of a smaller event
+// can still be found.
+func (c *calendarQueue) locate() int {
+	if c.n == 0 {
+		return -1
+	}
+	if c.cur != nil {
+		return c.curBucket
+	}
+	nb := len(c.buckets)
+	i, top := c.lastBucket, c.bucketTop
+	for k := 0; k < nb; k++ {
+		if ev := c.buckets[i]; ev != nil && ev.at < top {
+			c.cur, c.curBucket = ev, i
+			return i
+		}
+		i++
+		if i == nb {
+			i = 0
+		}
+		if top > MaxTime-c.width {
+			break // window end would overflow; direct search below
+		}
+		top += c.width
+	}
+	// Sparse or far-future population: direct search over bucket heads.
+	var best *event
+	bi := -1
+	for j, ev := range c.buckets {
+		if ev != nil && (best == nil || eventLess(ev, best)) {
+			best, bi = ev, j
+		}
+	}
+	c.cur, c.curBucket = best, bi
+	return bi
+}
+
+func (c *calendarQueue) peek() *event {
+	if c.locate() < 0 {
+		return nil
+	}
+	return c.cur
+}
+
+func (c *calendarQueue) pop() *event {
+	b := c.locate()
+	if b < 0 {
+		return nil
+	}
+	ev := c.buckets[b]
+	c.buckets[b] = ev.next
+	if ev.next == nil {
+		c.tails[b] = nil
+	}
+	ev.next = nil
+	c.n--
+	c.ops++
+	c.cur = nil
+	c.setScan(ev)
+	if c.n < len(c.buckets)/2 && len(c.buckets) > calMinBuckets {
+		c.resize(len(c.buckets) / 2)
+	}
+	return ev
+}
+
+// resize rebuilds the calendar with nb buckets and a width of three times
+// the mean inter-event gap among the earliest calSample events (Brown's
+// head-sampling rule), then rewinds the scan position to the minimum.
+// Sampling at the head matters: a simulation's population mixes dense
+// near-term packet events with a few multi-second timers, and a width
+// derived from the full min–max spread would dump the whole dense region
+// into one bucket, degrading insert to a long list walk.
+func (c *calendarQueue) resize(nb int) {
+	if nb < calMinBuckets {
+		nb = calMinBuckets
+	}
+	// Unlink everything into one chain, sampling the head region as we go.
+	var chain, best *event
+	var sample [calSample]Time
+	sn := 0
+	for i := range c.buckets {
+		for ev := c.buckets[i]; ev != nil; {
+			nxt := ev.next
+			if best == nil || eventLess(ev, best) {
+				best = ev
+			}
+			if sn < len(sample) || ev.at < sample[sn-1] {
+				j := sn
+				if j == len(sample) {
+					j--
+				}
+				for j > 0 && ev.at < sample[j-1] {
+					sample[j] = sample[j-1]
+					j--
+				}
+				sample[j] = ev.at
+				if sn < len(sample) {
+					sn++
+				}
+			}
+			ev.next = chain
+			chain = ev
+			ev = nxt
+		}
+		c.buckets[i] = nil
+		c.tails[i] = nil
+	}
+	if sn > 1 {
+		// Width from the head region's mean gap; on an all-ties sample
+		// (gap 0) keep the current width rather than collapsing to 1 ns.
+		if w := 3 * (sample[sn-1] - sample[0]) / Time(sn-1); w >= 1 {
+			c.width = w
+		}
+	}
+	if nb <= cap(c.buckets) {
+		c.buckets = c.buckets[:nb]
+		c.tails = c.tails[:nb]
+		for i := range c.buckets {
+			c.buckets[i] = nil
+			c.tails[i] = nil
+		}
+	} else {
+		c.buckets = make([]*event, nb)
+		c.tails = make([]*event, nb)
+	}
+	for ev := chain; ev != nil; {
+		nxt := ev.next
+		c.insert(ev)
+		ev = nxt
+	}
+	c.ops = 0
+	c.cur = nil
+	if best != nil {
+		c.setScan(best)
+	} else {
+		c.lastAt, c.lastBucket, c.bucketTop = 0, 0, c.width
+	}
+}
+
+func (c *calendarQueue) sweep(recycle func(*event)) {
+	removed := 0
+	for b := range c.buckets {
+		var head, tail *event
+		for ev := c.buckets[b]; ev != nil; {
+			nxt := ev.next
+			ev.next = nil
+			if ev.cancel {
+				recycle(ev)
+				removed++
+			} else if tail == nil {
+				head, tail = ev, ev
+			} else {
+				tail.next = ev
+				tail = ev
+			}
+			ev = nxt
+		}
+		c.buckets[b] = head
+		c.tails[b] = tail
+	}
+	c.n -= removed
+	c.cur = nil
+}
+
+func (c *calendarQueue) reset(recycle func(*event)) {
+	for b := range c.buckets {
+		for ev := c.buckets[b]; ev != nil; {
+			nxt := ev.next
+			ev.next = nil
+			recycle(ev)
+			ev = nxt
+		}
+		c.buckets[b] = nil
+		c.tails[b] = nil
+	}
+	c.n = 0
+	c.cur = nil
+	c.ops = 0
+	c.lastAt, c.lastBucket, c.bucketTop = 0, 0, c.width
+}

@@ -4,13 +4,24 @@
 // events. Events scheduled for the same instant fire in the order they were
 // scheduled (stable FIFO tie-break), which makes every simulation in this
 // repository reproducible bit-for-bit.
+//
+// Two queue implementations are available behind the same Engine API: an
+// inlined 4-ary min-heap (the default) and an ns-2-style calendar queue
+// (NewCalendarEngine) whose enqueue/dequeue cost stays O(1) when the event
+// population is well spread. Both honor the identical total order
+// (at, seq), so a simulation produces byte-identical results under either.
+//
+// The hot path is allocation-free in steady state: fired and cancelled
+// events are recycled through a free list, and EventRefs carry a
+// generation counter so a stale reference can never touch the slot's new
+// occupant.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -46,81 +57,213 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 // event's instant.
 type Handler func()
 
-// event is a single queue entry.
+// event is a single queue entry. Events are recycled through the engine's
+// free list; gen counts the recycles so stale EventRefs can detect that
+// their event is gone (and look its fate up in the fate shift register).
 type event struct {
-	at     Time
-	seq    uint64 // insertion order, breaks ties deterministically
-	fn     Handler
-	index  int // heap index, -1 once popped or cancelled
-	cancel bool
+	at  Time
+	seq uint64 // insertion order, breaks ties deterministically
+	fn  Handler
+	gen uint64 // incremented every time the slot is recycled
+	// fate remembers how past occupants of this slot ended: bit k holds 1
+	// if generation gen-1-k fired (0 if it was cancelled). It lets a ref
+	// up to 64 recycles stale still report its own event's outcome.
+	fate   uint64
 	fired  bool
+	cancel bool
+	// next chains events inside a calendar-queue bucket (intrusive list,
+	// nil outside the calendar). Unused by the heap scheduler.
+	next *event
 }
 
-// EventRef identifies a scheduled event so it can be cancelled.
-type EventRef struct{ ev *event }
+// eventLess is the engine's total event order: earlier instant first,
+// scheduling order breaking ties. Both queue implementations use exactly
+// this predicate, which is what makes them interchangeable bit-for-bit.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// EventRef identifies a scheduled event so it can be cancelled. The zero
+// value is valid and reports neither fired nor cancelled.
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
+
+// fateBits is how many completed generations a slot's fate register holds.
+const fateBits = 64
 
 // Cancelled reports whether the event was cancelled before firing. The
 // contract: exactly one of "fired" and "cancelled" eventually holds for
 // every scheduled event. An event that already ran reports false even if
 // Cancel was called on it afterwards (the late Cancel is a no-op), so
 // Cancelled never claims that work which actually happened was prevented.
-func (r EventRef) Cancelled() bool { return r.ev != nil && r.ev.cancel }
-
-// Fired reports whether the event's handler has run.
-func (r EventRef) Fired() bool { return r.ev != nil && r.ev.fired }
-
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+//
+// The report stays correct even after the event's slot has been recycled
+// and rescheduled (up to 64 recycles back); a ref staler than that
+// conservatively reports not-cancelled.
+func (r EventRef) Cancelled() bool {
+	ev := r.ev
+	if ev == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	if ev.gen == r.gen {
+		return ev.cancel
+	}
+	if age := ev.gen - r.gen; age <= fateBits {
+		return ev.fate>>(age-1)&1 == 0
+	}
+	return false
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Fired reports whether the event's handler has run, with the same
+// staleness guarantees as Cancelled.
+func (r EventRef) Fired() bool {
+	ev := r.ev
+	if ev == nil {
+		return false
+	}
+	if ev.gen == r.gen {
+		return ev.fired
+	}
+	if age := ev.gen - r.gen; age <= fateBits {
+		return ev.fate>>(age-1)&1 == 1
+	}
+	// Fate memory exhausted: the event certainly completed, and events
+	// overwhelmingly complete by firing (cancellations are explicit, so
+	// their owner already knows). Report the likely outcome.
+	return true
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// scheduler is the queue strategy behind an Engine. Both implementations
+// order events by eventLess and tolerate lazily-cancelled entries (the
+// engine skips and recycles them on pop, or in bulk via sweep).
+type scheduler interface {
+	// push enqueues an event.
+	push(ev *event)
+	// peek returns the earliest queued event without removing it, or nil.
+	peek() *event
+	// pop removes and returns the earliest queued event, or nil.
+	pop() *event
+	// size returns the number of queued events, including
+	// lazily-cancelled ones awaiting collection.
+	size() int
+	// sweep removes every cancelled event, handing each to recycle.
+	sweep(recycle func(*event))
+	// reset empties the queue (recycling every entry) but keeps the
+	// allocated capacity for reuse.
+	reset(recycle func(*event))
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// SchedulerKind selects an Engine's queue implementation.
+type SchedulerKind int32
+
+const (
+	// SchedulerHeap is the inlined 4-ary min-heap (the default).
+	SchedulerHeap SchedulerKind = iota
+	// SchedulerCalendar is the ns-2-style calendar queue.
+	SchedulerCalendar
+)
+
+// String implements fmt.Stringer.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedulerHeap:
+		return "heap"
+	case SchedulerCalendar:
+		return "calendar"
+	default:
+		return fmt.Sprintf("scheduler(%d)", int32(k))
+	}
 }
+
+// ParseSchedulerKind maps a flag value ("heap", "calendar") to a kind.
+func ParseSchedulerKind(s string) (SchedulerKind, error) {
+	switch s {
+	case "heap", "binary-heap", "4ary":
+		return SchedulerHeap, nil
+	case "calendar", "calendar-queue", "cq":
+		return SchedulerCalendar, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheduler %q (have: heap, calendar)", s)
+	}
+}
+
+// defaultKind is the process-wide scheduler used by NewEngine, read and
+// written atomically so worker pools can select it per run.
+var defaultKind atomic.Int32
+
+// SetDefaultScheduler selects the queue implementation NewEngine uses from
+// now on and returns the previous choice. Engines already built keep their
+// scheduler; because both kinds honor the same (at, seq) order, switching
+// never changes simulation results.
+func SetDefaultScheduler(k SchedulerKind) SchedulerKind {
+	return SchedulerKind(defaultKind.Swap(int32(k)))
+}
+
+// DefaultScheduler returns the kind NewEngine currently uses.
+func DefaultScheduler() SchedulerKind { return SchedulerKind(defaultKind.Load()) }
 
 // ErrStopped is returned by Run when Stop was called before the horizon.
 var ErrStopped = errors.New("sim: engine stopped")
 
+// eventBlock is how many events one free-list refill allocates. Chunked
+// allocation keeps cold-start allocation counts low; in steady state the
+// free list makes Schedule/Step allocation-free.
+const eventBlock = 128
+
+// compactMin is the lazy-deletion floor: a sweep is only considered once
+// at least this many cancelled events are queued.
+const compactMin = 64
+
 // Engine is the discrete-event scheduler. The zero value is not usable; call
-// NewEngine.
+// NewEngine (or NewCalendarEngine).
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	sched   scheduler
+	kind    SchedulerKind
 	seq     uint64
 	stopped bool
 	// processed counts events that have fired, for diagnostics.
 	processed uint64
+	// live counts scheduled, not-yet-fired, not-cancelled events.
+	live int
+	// lazy counts cancelled events still occupying queue slots.
+	lazy int
+	// free is the recycled-event stack feeding At.
+	free []*event
+	// recycleFn is the pre-bound recycle method value handed to the
+	// scheduler's sweep/reset, so compaction never allocates a closure.
+	recycleFn func(*event)
 }
 
-// NewEngine returns an engine with its clock at zero.
-func NewEngine() *Engine {
-	return &Engine{}
+// NewEngine returns an engine with its clock at zero, using the
+// process-default scheduler (see SetDefaultScheduler; initially the 4-ary
+// heap).
+func NewEngine() *Engine { return NewEngineKind(DefaultScheduler()) }
+
+// NewCalendarEngine returns an engine backed by the calendar queue.
+func NewCalendarEngine() *Engine { return NewEngineKind(SchedulerCalendar) }
+
+// NewEngineKind returns an engine backed by the given queue implementation.
+func NewEngineKind(k SchedulerKind) *Engine {
+	e := &Engine{kind: k}
+	switch k {
+	case SchedulerCalendar:
+		e.sched = newCalendarQueue()
+	default:
+		e.kind = SchedulerHeap
+		e.sched = new(heapQueue)
+	}
+	e.recycleFn = e.recycle
+	return e
 }
+
+// Scheduler returns the engine's queue implementation kind.
+func (e *Engine) Scheduler() SchedulerKind { return e.kind }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -128,8 +271,41 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events that have fired so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events currently scheduled (cancelled
+// events awaiting lazy collection are not counted).
+func (e *Engine) Pending() int { return e.live }
+
+// alloc takes an event slot from the free list, refilling it block-wise
+// from one backing array when empty.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	block := make([]event, eventBlock)
+	for i := eventBlock - 1; i >= 1; i-- {
+		e.free = append(e.free, &block[i])
+	}
+	return &block[0]
+}
+
+// recycle retires an event slot: its outcome is pushed into the fate shift
+// register, the generation advances (invalidating extant refs), and the
+// slot returns to the free list.
+func (e *Engine) recycle(ev *event) {
+	var bit uint64
+	if ev.fired {
+		bit = 1
+	}
+	ev.fate = ev.fate<<1 | bit
+	ev.gen++
+	ev.fn = nil
+	ev.fired = false
+	ev.cancel = false
+	e.free = append(e.free, ev)
+}
 
 // Schedule runs fn after the given delay. A negative delay is treated as
 // zero (the event fires at the current instant, after already-queued events
@@ -150,26 +326,33 @@ func (e *Engine) At(at Time, fn Handler) EventRef {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return EventRef{ev: ev}
+	e.sched.push(ev)
+	e.live++
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op: a fired event stays
-// "fired", not "cancelled" (see EventRef.Cancelled).
+// "fired", not "cancelled" (see EventRef.Cancelled). The queue slot is
+// deleted lazily: it is marked and skipped on pop, and bulk-compacted once
+// cancelled events dominate the queue, so Cancel itself is O(1).
 func (e *Engine) Cancel(ref EventRef) {
 	ev := ref.ev
-	if ev == nil || ev.fired {
-		return
-	}
-	if ev.cancel || ev.index < 0 {
-		ev.cancel = true
+	if ev == nil || ev.gen != ref.gen || ev.fired || ev.cancel {
 		return
 	}
 	ev.cancel = true
-	heap.Remove(&e.queue, ev.index)
+	e.live--
+	e.lazy++
+	if e.lazy >= compactMin && e.lazy*2 > e.sched.size() {
+		e.lazy = 0
+		e.sched.sweep(e.recycleFn)
+	}
 }
 
 // Stop makes the current Run call return after the in-flight event handler
@@ -181,18 +364,27 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the single earliest pending event and advances the clock to its
 // instant. It reports whether an event fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+	for {
+		ev := e.sched.pop()
+		if ev == nil {
+			return false
+		}
 		if ev.cancel {
+			if e.lazy > 0 {
+				e.lazy--
+			}
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.processed++
+		e.live--
 		ev.fired = true
-		ev.fn()
+		fn := ev.fn
+		fn()
+		e.recycle(ev)
 		return true
 	}
-	return false
 }
 
 // Run processes events until the queue is empty or the clock would pass the
@@ -202,14 +394,21 @@ func (e *Engine) Step() bool {
 // already returned) is honored immediately: Run consumes it and returns
 // ErrStopped without firing any event, so a stop is never silently lost.
 func (e *Engine) Run(until Time) error {
-	for len(e.queue) > 0 || e.stopped {
+	for {
 		if e.stopped {
 			e.stopped = false
 			return ErrStopped
 		}
-		next := e.queue[0]
+		next := e.sched.peek()
+		if next == nil {
+			break
+		}
 		if next.cancel {
-			heap.Pop(&e.queue)
+			e.sched.pop()
+			if e.lazy > 0 {
+				e.lazy--
+			}
+			e.recycle(next)
 			continue
 		}
 		if next.at > until {
@@ -228,3 +427,21 @@ func (e *Engine) Run(until Time) error {
 
 // RunAll processes events until the queue drains or Stop is called.
 func (e *Engine) RunAll() error { return e.Run(MaxTime) }
+
+// Reset returns the engine to its initial state — clock at zero, empty
+// queue, sequence counter rewound — while keeping the event free list and
+// queue capacity, so a worker can run many simulation replicas without
+// re-paying allocation warm-up. Events still queued are recycled as
+// cancelled; refs into the previous run become stale and report their own
+// event's fate per the EventRef contract. Because the sequence counter
+// restarts at zero, a reset engine schedules events in exactly the order a
+// fresh engine would: replica results are identical either way.
+func (e *Engine) Reset() {
+	e.sched.reset(e.recycleFn)
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.stopped = false
+	e.live = 0
+	e.lazy = 0
+}

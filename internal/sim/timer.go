@@ -8,6 +8,7 @@ package sim
 type Timer struct {
 	engine  *Engine
 	fn      Handler
+	fire    Handler // pre-bound expiry handler, allocated once in NewTimer
 	ref     EventRef
 	armed   bool
 	expires Time
@@ -21,7 +22,12 @@ func NewTimer(engine *Engine, fn Handler) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil handler")
 	}
-	return &Timer{engine: engine, fn: fn}
+	t := &Timer{engine: engine, fn: fn}
+	t.fire = func() {
+		t.armed = false
+		t.fn()
+	}
+	return t
 }
 
 // Armed reports whether the timer is currently scheduled.
@@ -37,10 +43,7 @@ func (t *Timer) Reset(delay Time) {
 	t.Stop()
 	t.armed = true
 	t.expires = t.engine.Now() + delay
-	t.ref = t.engine.Schedule(delay, func() {
-		t.armed = false
-		t.fn()
-	})
+	t.ref = t.engine.Schedule(delay, t.fire)
 }
 
 // ResetAt (re)arms the timer to fire at an absolute instant.

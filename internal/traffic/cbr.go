@@ -23,6 +23,9 @@ type CBRConfig struct {
 	Size int
 	// Interval is the inter-packet gap.
 	Interval sim.Time
+	// Alloc, if set, supplies zeroed packet structs (typically a
+	// topology's recycling pool); nil falls back to plain allocation.
+	Alloc func() *inet.Packet
 }
 
 // RateBPS returns the flow's nominal rate in bits per second.
@@ -85,16 +88,20 @@ func (c *CBR) Stop() {
 }
 
 func (c *CBR) emit() {
-	pkt := &inet.Packet{
-		Src:     c.cfg.Src,
-		Dst:     c.cfg.Dst,
-		Proto:   inet.ProtoUDP,
-		Class:   c.cfg.Class,
-		Flow:    c.cfg.Flow,
-		Seq:     c.seq,
-		Size:    c.cfg.Size,
-		Created: c.engine.Now(),
+	var pkt *inet.Packet
+	if c.cfg.Alloc != nil {
+		pkt = c.cfg.Alloc()
+	} else {
+		pkt = &inet.Packet{}
 	}
+	pkt.Src = c.cfg.Src
+	pkt.Dst = c.cfg.Dst
+	pkt.Proto = inet.ProtoUDP
+	pkt.Class = c.cfg.Class
+	pkt.Flow = c.cfg.Flow
+	pkt.Seq = c.seq
+	pkt.Size = c.cfg.Size
+	pkt.Created = c.engine.Now()
 	if c.newID != nil {
 		pkt.ID = c.newID()
 	}

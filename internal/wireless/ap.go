@@ -58,9 +58,16 @@ type AccessPoint struct {
 	medium *Medium
 	wired  *netsim.Iface
 
-	// Downlink shared transmitter state.
-	busy  bool
-	queue []*inet.Packet
+	// Downlink shared transmitter state. txPkt/inflight/txDoneFn/airFn
+	// mirror netsim.Iface's zero-alloc transmit: handlers are pre-bound
+	// once and frames propagate through a FIFO (AirDelay is constant, so
+	// arrivals complete in transmission order).
+	busy     bool
+	queue    []*inet.Packet
+	txPkt    *inet.Packet
+	inflight []*inet.Packet
+	txDoneFn sim.Handler
+	airFn    sim.Handler
 
 	airDrops uint64
 	// AirDropHook observes packets transmitted while the destination
@@ -75,6 +82,8 @@ type AccessPoint struct {
 // NewAccessPoint creates an access point and registers it with the medium.
 func NewAccessPoint(name string, medium *Medium, cfg APConfig) *AccessPoint {
 	ap := &AccessPoint{name: name, cfg: cfg, engine: medium.engine, medium: medium}
+	ap.txDoneFn = ap.txDone
+	ap.airFn = ap.airArrive
 	medium.addAP(ap)
 	return ap
 }
@@ -159,22 +168,38 @@ func (ap *AccessPoint) transmitDown(pkt *inet.Packet) {
 
 func (ap *AccessPoint) startTx(pkt *inet.Packet) {
 	ap.busy = true
+	ap.txPkt = pkt
 	var txTime sim.Time
 	if ap.cfg.BandwidthBPS > 0 {
 		txTime = sim.Time(int64(pkt.Size) * 8 * int64(sim.Second) / ap.cfg.BandwidthBPS)
 	}
-	ap.engine.Schedule(txTime, func() {
-		ap.engine.Schedule(ap.cfg.AirDelay, func() { ap.deliver(pkt) })
-		if len(ap.queue) > 0 {
-			next := ap.queue[0]
-			copy(ap.queue, ap.queue[1:])
-			ap.queue = ap.queue[:len(ap.queue)-1]
-			ap.busy = false
-			ap.startTx(next)
-		} else {
-			ap.busy = false
-		}
-	})
+	ap.engine.Schedule(txTime, ap.txDoneFn)
+}
+
+// txDone fires when the current frame finishes serializing: it goes on the
+// air and the next queued frame starts transmitting.
+func (ap *AccessPoint) txDone() {
+	ap.inflight = append(ap.inflight, ap.txPkt)
+	ap.engine.Schedule(ap.cfg.AirDelay, ap.airFn)
+	if len(ap.queue) > 0 {
+		next := ap.queue[0]
+		copy(ap.queue, ap.queue[1:])
+		ap.queue = ap.queue[:len(ap.queue)-1]
+		ap.busy = false
+		ap.startTx(next)
+	} else {
+		ap.busy = false
+	}
+}
+
+// airArrive fires one air delay after txDone; the constant delay keeps the
+// in-flight FIFO in arrival order.
+func (ap *AccessPoint) airArrive() {
+	pkt := ap.inflight[0]
+	copy(ap.inflight, ap.inflight[1:])
+	ap.inflight[len(ap.inflight)-1] = nil
+	ap.inflight = ap.inflight[:len(ap.inflight)-1]
+	ap.deliver(pkt)
 }
 
 // deliver hands the frame to the associated, in-coverage station that

@@ -66,6 +66,15 @@ type Station struct {
 
 	busy  bool
 	queue []*inet.Packet
+	// Zero-alloc uplink transmit state (see AccessPoint): the in-flight
+	// FIFO carries the target AP alongside each frame because a frame
+	// stays aimed at the AP it was transmitted toward even if the station
+	// detaches before it lands.
+	txPkt    *inet.Packet
+	txAP     *AccessPoint
+	inflight []airFrame
+	txDoneFn sim.Handler
+	airFn    sim.Handler
 
 	txDrops uint64
 
@@ -93,8 +102,16 @@ func NewStation(name string, medium *Medium, motion Motion, cfg StationConfig) *
 		motion: motion,
 		addrs:  make(map[inet.Addr]bool),
 	}
+	s.txDoneFn = s.txDone
+	s.airFn = s.airArrive
 	medium.addStation(s)
 	return s
+}
+
+// airFrame is one uplink frame propagating over the air.
+type airFrame struct {
+	pkt *inet.Packet
+	ap  *AccessPoint
 }
 
 // Name returns the station identifier.
@@ -191,32 +208,45 @@ func (s *Station) Send(pkt *inet.Packet) {
 
 func (s *Station) startTx(pkt *inet.Packet) {
 	s.busy = true
+	s.txPkt = pkt
+	s.txAP = s.ap // frame is in flight toward this AP even if we detach later
 	var txTime sim.Time
 	if s.cfg.BandwidthBPS > 0 {
 		txTime = sim.Time(int64(pkt.Size) * 8 * int64(sim.Second) / s.cfg.BandwidthBPS)
 	}
-	ap := s.ap // frame is in flight toward this AP even if we detach later
-	s.engine.Schedule(txTime, func() {
-		s.engine.Schedule(s.cfg.AirDelay, func() {
-			// The frame only lands if the station is still in the AP's
-			// coverage when it arrives.
-			if ap != nil && ap.Covers(s.Pos(s.engine.Now())) {
-				ap.sendUp(pkt)
-			}
-		})
-		s.busy = false
-		switch {
-		case len(s.queue) > 0 && s.CanReceive():
-			next := s.queue[0]
-			copy(s.queue, s.queue[1:])
-			s.queue = s.queue[:len(s.queue)-1]
-			s.startTx(next)
-		case len(s.queue) > 0:
-			// NIC reset on detach: queued frames are lost.
-			s.txDrops += uint64(len(s.queue))
-			s.queue = s.queue[:0]
-		}
-	})
+	s.engine.Schedule(txTime, s.txDoneFn)
+}
+
+// txDone fires when the current frame finishes serializing: it goes on the
+// air toward the AP it was aimed at and the next queued frame starts.
+func (s *Station) txDone() {
+	s.inflight = append(s.inflight, airFrame{pkt: s.txPkt, ap: s.txAP})
+	s.engine.Schedule(s.cfg.AirDelay, s.airFn)
+	s.busy = false
+	switch {
+	case len(s.queue) > 0 && s.CanReceive():
+		next := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.startTx(next)
+	case len(s.queue) > 0:
+		// NIC reset on detach: queued frames are lost.
+		s.txDrops += uint64(len(s.queue))
+		s.queue = s.queue[:0]
+	}
+}
+
+// airArrive fires one air delay after txDone (constant delay keeps the
+// FIFO in arrival order). The frame only lands if the station is still in
+// the target AP's coverage when it arrives.
+func (s *Station) airArrive() {
+	f := s.inflight[0]
+	copy(s.inflight, s.inflight[1:])
+	s.inflight[len(s.inflight)-1] = airFrame{}
+	s.inflight = s.inflight[:len(s.inflight)-1]
+	if f.ap != nil && f.ap.Covers(s.Pos(s.engine.Now())) {
+		f.ap.sendUp(f.pkt)
+	}
 }
 
 func (s *Station) deliverRA(adv Advertisement) {
