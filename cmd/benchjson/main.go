@@ -5,10 +5,17 @@
 // Usage:
 //
 //	go test -bench . -benchtime 1x ./... | benchjson -o BENCH_sim.json
+//	go test -bench . ./internal/buffer | benchjson -baseline BENCH_buffer.json
 //
 // Each benchmark line becomes one record with the run count, ns/op, the
 // allocation columns when present (-benchmem or b.ReportAllocs), and any
 // custom b.ReportMetric units.
+//
+// With -baseline, the parsed run is additionally compared against a
+// checked-in artifact: the command exits non-zero when any baselined
+// benchmark is missing, slower than the baseline by more than -tolerance
+// percent, or allocates more per op. Benchmarks absent from the baseline
+// are archived but not gated.
 package main
 
 import (
@@ -48,6 +55,8 @@ type Document struct {
 
 func main() {
 	out := flag.String("o", "-", "output file ('-': stdout)")
+	baseline := flag.String("baseline", "", "compare against this artifact and fail on regressions")
+	tolerance := flag.Float64("tolerance", 20, "allowed ns/op slowdown versus the baseline, in percent")
 	flag.Parse()
 	doc, err := parse(os.Stdin)
 	if err != nil {
@@ -70,6 +79,87 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	failures := compare(base, doc, *tolerance)
+	if len(failures) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d baselined benchmark(s) within %.0f%% of %s, no alloc regressions\n",
+			len(base.Benchmarks), *tolerance, *baseline)
+		return
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", f)
+	}
+	os.Exit(1)
+}
+
+// load reads a previously written artifact.
+func load(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc := &Document{}
+	if err := json.NewDecoder(f).Decode(doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// recordKey identifies a benchmark across runs; the package qualifier
+// disambiguates same-named benchmarks from different packages.
+func recordKey(r Record) string {
+	if r.Package != "" {
+		return r.Package + "." + r.Name
+	}
+	return r.Name
+}
+
+// minGateNs is the floor under which ns/op is not gated: sub-nanosecond
+// results sit below the timer's resolution and flap on noise alone. The
+// allocs/op gate still applies to such benchmarks.
+const minGateNs = 1.0
+
+// compare gates the current run against a baseline. Every baselined
+// benchmark must be present, within tolerancePct percent of the baseline
+// ns/op, and no worse on allocs/op (any alloc increase fails — the
+// hot-path benchmarks pin 0 allocs/op).
+func compare(base, cur *Document, tolerancePct float64) []string {
+	byKey := make(map[string]Record, len(cur.Benchmarks))
+	byName := make(map[string]Record, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		byKey[recordKey(r)] = r
+		byName[r.Name] = r
+	}
+	var failures []string
+	for _, b := range base.Benchmarks {
+		c, ok := byKey[recordKey(b)]
+		if !ok {
+			// Fall back to the bare name so hand-trimmed baselines and
+			// runs without pkg: headers still match.
+			c, ok = byName[b.Name]
+		}
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: baselined benchmark missing from this run", b.Name))
+			continue
+		}
+		if limit := b.NsPerOp * (1 + tolerancePct/100); b.NsPerOp >= minGateNs && c.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.4g ns/op, more than %.0f%% over baseline %.4g ns/op",
+				b.Name, c.NsPerOp, tolerancePct, b.NsPerOp))
+		}
+		if b.AllocsPerOp >= 0 && c.AllocsPerOp > b.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %g allocs/op, baseline allows %g",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return failures
 }
 
 // parse reads `go test -bench` output and extracts every benchmark line.

@@ -49,6 +49,81 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// rec builds a minimal record for compare tests.
+func rec(name string, ns, allocs float64) Record {
+	return Record{Name: name, Package: "repro/internal/buffer", Runs: 1,
+		NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: allocs}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Document{Benchmarks: []Record{
+		rec("BenchmarkPushPop", 10, 0),
+		rec("BenchmarkPushDropHeadSweep/cap4096", 12, 0),
+	}}
+	ok := &Document{Benchmarks: []Record{
+		rec("BenchmarkPushPop", 11.9, 0), // +19%: inside the 20% window
+		rec("BenchmarkPushDropHeadSweep/cap4096", 9, 0),
+		rec("BenchmarkUnrelated", 9999, 42), // not baselined, not gated
+	}}
+	if failures := compare(base, ok, 20); len(failures) != 0 {
+		t.Fatalf("clean run flagged: %v", failures)
+	}
+
+	slow := &Document{Benchmarks: []Record{
+		rec("BenchmarkPushPop", 12.1, 0), // +21%
+		rec("BenchmarkPushDropHeadSweep/cap4096", 12, 0),
+	}}
+	failures := compare(base, slow, 20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkPushPop") ||
+		!strings.Contains(failures[0], "ns/op") {
+		t.Fatalf("ns/op regression not flagged: %v", failures)
+	}
+
+	allocs := &Document{Benchmarks: []Record{
+		rec("BenchmarkPushPop", 10, 1), // any alloc regression fails
+		rec("BenchmarkPushDropHeadSweep/cap4096", 12, 0),
+	}}
+	failures = compare(base, allocs, 20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("alloc regression not flagged: %v", failures)
+	}
+
+	missing := &Document{Benchmarks: []Record{rec("BenchmarkPushPop", 10, 0)}}
+	failures = compare(base, missing, 20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("missing benchmark not flagged: %v", failures)
+	}
+}
+
+func TestCompareMatchesByBareName(t *testing.T) {
+	base := &Document{Benchmarks: []Record{
+		{Name: "BenchmarkPushPop", NsPerOp: 10, BytesPerOp: -1, AllocsPerOp: 0},
+	}}
+	cur := &Document{Benchmarks: []Record{rec("BenchmarkPushPop", 10, 0)}}
+	if failures := compare(base, cur, 20); len(failures) != 0 {
+		t.Fatalf("package-less baseline did not match: %v", failures)
+	}
+	// A benchmark with no alloc columns (-1) must not gate allocs.
+	base.Benchmarks[0].AllocsPerOp = -1
+	cur.Benchmarks[0].AllocsPerOp = 57
+	if failures := compare(base, cur, 20); len(failures) != 0 {
+		t.Fatalf("unbaselined alloc column gated: %v", failures)
+	}
+}
+
+func TestCompareSkipsSubNanosecondTiming(t *testing.T) {
+	base := &Document{Benchmarks: []Record{rec("BenchmarkDecide", 0.15, 0)}}
+	cur := &Document{Benchmarks: []Record{rec("BenchmarkDecide", 0.9, 0)}}
+	if failures := compare(base, cur, 20); len(failures) != 0 {
+		t.Fatalf("sub-ns timing noise gated: %v", failures)
+	}
+	// ... but its alloc gate still holds.
+	cur.Benchmarks[0].AllocsPerOp = 1
+	if failures := compare(base, cur, 20); len(failures) != 1 {
+		t.Fatalf("sub-ns alloc regression not flagged: %v", failures)
+	}
+}
+
 func TestParseLineRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX",

@@ -84,6 +84,15 @@ func run(args []string, stdout io.Writer) error {
 	if *replicas == 0 && *jsonOut != "" {
 		*replicas = 1
 	}
+	// An explicit -spec selection means the user wants the runner path;
+	// default to a single replica so `-spec metro` alone does a full run.
+	if *replicas == 0 {
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "spec" {
+				*replicas = 1
+			}
+		})
+	}
 	if *replicas > 0 {
 		return runReplicas(stdout, *specList, *replicas, *parallel, *rootSeed, *jsonOut)
 	}

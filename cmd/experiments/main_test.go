@@ -112,6 +112,22 @@ func TestJSONArtifactDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestExplicitSpecImpliesOneReplica pins the `-spec NAME` shorthand: an
+// explicit spec selection without -replicas runs one full replica through
+// the runner instead of silently falling back to the figure path.
+func TestExplicitSpecImpliesOneReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run is slow")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-spec", "baseline"}, &out); err != nil {
+		t.Fatalf("run -spec: %v", err)
+	}
+	if !strings.Contains(out.String(), "baseline (n=1)") {
+		t.Fatalf("-spec alone did not run one replica:\n%s", out.String())
+	}
+}
+
 func TestSeedsAliasUsesRunner(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario run is slow")

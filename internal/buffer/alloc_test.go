@@ -1,0 +1,65 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/inet"
+)
+
+// TestBufferHotPathZeroAlloc pins the tentpole property: once a buffer
+// (or the free list serving it) is warm, Push/Pop/PushDropHead/
+// PushIfAboveAlpha and a full session grant/release cycle allocate
+// nothing.
+func TestBufferHotPathZeroAlloc(t *testing.T) {
+	p := &inet.Packet{Class: inet.ClassRealTime, Size: 160}
+	hp := &inet.Packet{Class: inet.ClassHighPriority, Size: 160}
+
+	buf := New(64, 4)
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 60; i++ {
+			buf.Push(p)
+		}
+		for buf.Len() > 0 {
+			buf.Pop()
+		}
+	}); n != 0 {
+		t.Fatalf("Push/Pop cycle: %v allocs/op, want 0", n)
+	}
+
+	full := New(32, 0)
+	for !full.Full() {
+		full.Push(p)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		full.PushDropHead(p)
+		full.PushDropHead(hp)
+	}); n != 0 {
+		t.Fatalf("PushDropHead on full buffer: %v allocs/op, want 0", n)
+	}
+
+	alpha := New(16, 4)
+	if n := testing.AllocsPerRun(100, func() {
+		for alpha.Free() > alpha.Alpha() {
+			alpha.PushIfAboveAlpha(hp)
+		}
+		alpha.PushIfAboveAlpha(hp) // refused below α
+		for alpha.Len() > 0 {
+			alpha.Pop()
+		}
+	}); n != 0 {
+		t.Fatalf("PushIfAboveAlpha cycle: %v allocs/op, want 0", n)
+	}
+
+	var fl FreeList
+	fl.Put(fl.Get(20, 6)) // warm the bucket
+	if n := testing.AllocsPerRun(100, func() {
+		b := fl.Get(20, 6)
+		for j := 0; j < 20; j++ {
+			b.PushDropHead(p)
+		}
+		b.Clear()
+		fl.Put(b)
+	}); n != 0 {
+		t.Fatalf("free-listed session cycle: %v allocs/op, want 0", n)
+	}
+}

@@ -29,6 +29,69 @@ func BenchmarkPushDropHead(b *testing.B) {
 	}
 }
 
+// BenchmarkPushDropHeadSweep fills a buffer of each size with a mix of
+// high-priority and real-time packets and then measures steady-state
+// drop-head pushes on the full buffer. ns/op must stay flat across sizes:
+// the eviction is O(1) via the real-time chain, where the old slice
+// implementation scanned and compacted O(n) per push.
+func BenchmarkPushDropHeadSweep(b *testing.B) {
+	for _, size := range []int{16, 64, 256, 1024, 4096} {
+		b.Run(fmtSize(size), func(b *testing.B) {
+			buf := New(size, 0)
+			hp := &inet.Packet{Class: inet.ClassHighPriority, Size: 160}
+			rt := &inet.Packet{Class: inet.ClassRealTime, Size: 160}
+			// Worst case for the old scan: the front half is
+			// non-real-time, so eviction always searched past it.
+			for i := 0; i < size/2; i++ {
+				buf.Push(hp)
+			}
+			for !buf.Full() {
+				buf.Push(rt)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.PushDropHead(rt)
+			}
+		})
+	}
+}
+
+func fmtSize(n int) string {
+	switch n {
+	case 16:
+		return "cap16"
+	case 64:
+		return "cap64"
+	case 256:
+		return "cap256"
+	case 1024:
+		return "cap1024"
+	case 4096:
+		return "cap4096"
+	}
+	return "cap?"
+}
+
+// BenchmarkFreeListSessionChurn models the per-handoff buffer lifecycle:
+// grant a buffer, push/pop a burst, release it. With the FreeList the
+// steady state allocates nothing.
+func BenchmarkFreeListSessionChurn(b *testing.B) {
+	var fl FreeList
+	p := &inet.Packet{Class: inet.ClassRealTime, Size: 160}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := fl.Get(20, 6)
+		for j := 0; j < 20; j++ {
+			buf.PushDropHead(p)
+		}
+		for buf.Len() > 0 {
+			buf.Pop()
+		}
+		fl.Put(buf)
+	}
+}
+
 func BenchmarkDecide(b *testing.B) {
 	avail := Availability{NAR: true, PAR: true}
 	b.ReportAllocs()

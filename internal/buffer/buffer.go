@@ -1,6 +1,9 @@
 package buffer
 
 import (
+	"fmt"
+	"math/bits"
+
 	"repro/internal/inet"
 )
 
@@ -36,22 +39,64 @@ func (r DropReason) String() string {
 	}
 }
 
+// noSlot terminates the slot chains.
+const noSlot = -1
+
+// slot is one cell of the buffer's storage slab. Occupied slots form a
+// doubly-linked arrival-order list through prev/next; the subset holding
+// real-time packets additionally forms a singly-linked chain through
+// rtNext, oldest first. Free slots are chained through next.
+type slot struct {
+	pkt    *inet.Packet
+	prev   int32
+	next   int32
+	rtNext int32
+}
+
 // Buffer is one handoff session's FIFO packet store at an access router.
 // Its capacity is the space granted from the router's Pool during the
 // handover-initiation negotiation.
+//
+// Storage is a power-of-two slab of slots threaded by index chains, so
+// Push, Pop, and the class-aware drop-head eviction are all O(1): the
+// real-time chain tracks the oldest real-time packet directly, replacing
+// the linear scan the slice implementation needed. Because real-time
+// packets only ever leave from the front of their chain (Pop removes the
+// overall head, which if real-time is also the real-time head; eviction
+// removes the real-time head by definition), a singly-linked class chain
+// suffices, while the doubly-linked arrival list supports the O(1)
+// mid-list unlink an eviction needs.
 type Buffer struct {
 	capacity int
 	alpha    int
-	items    []*inet.Packet
+	length   int
+
+	slots    []slot
+	freeHead int32
+	head     int32 // oldest packet in arrival order
+	tail     int32 // youngest packet in arrival order
+	rtHead   int32 // oldest real-time packet
+	rtTail   int32 // youngest real-time packet
 
 	accepted uint64
-	dropped  map[inet.Class]uint64
 	evicted  uint64
+	// dropped counts refused or evicted packets by effective class
+	// (index inet.ClassRealTime..inet.ClassBestEffort; 0 unused).
+	dropped [4]uint64
+}
+
+// slabSize returns the power-of-two slab length for a capacity.
+func slabSize(capacity int) int {
+	if capacity <= 0 {
+		return 0
+	}
+	return 1 << bits.Len(uint(capacity-1))
 }
 
 // New creates a buffer holding up to capacity packets, with the given α
 // threshold for best-effort admission. α is a constant configured by the
-// network administrator in the thesis.
+// network administrator in the thesis. Negative arguments clamp to zero;
+// use NewChecked to reject an α that can never admit best-effort traffic.
 func New(capacity, alpha int) *Buffer {
 	if capacity < 0 {
 		capacity = 0
@@ -59,21 +104,64 @@ func New(capacity, alpha int) *Buffer {
 	if alpha < 0 {
 		alpha = 0
 	}
-	return &Buffer{
-		capacity: capacity,
-		alpha:    alpha,
-		dropped:  make(map[inet.Class]uint64),
+	b := &Buffer{}
+	b.reset(capacity, alpha)
+	return b
+}
+
+// NewChecked is New with configuration validation: a non-empty buffer
+// whose α threshold meets or exceeds its capacity can never satisfy
+// Free() > α, so every best-effort packet would be silently refused.
+// NewChecked surfaces that misconfiguration as an error instead.
+func NewChecked(capacity, alpha int) (*Buffer, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("buffer: negative capacity %d", capacity)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("buffer: negative alpha %d", alpha)
+	}
+	if capacity > 0 && alpha >= capacity {
+		return nil, fmt.Errorf("buffer: alpha %d >= capacity %d would refuse every best-effort packet", alpha, capacity)
+	}
+	return New(capacity, alpha), nil
+}
+
+// reset re-initialises b for a (possibly different) capacity and α,
+// growing the slab when needed and rebuilding the free chain. All
+// counters restart from zero. The contents must already be released
+// (Clear or Drain); reset drops any remaining packet references.
+func (b *Buffer) reset(capacity, alpha int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if n := slabSize(capacity); n > len(b.slots) {
+		b.slots = make([]slot, n)
+	}
+	b.capacity = capacity
+	b.alpha = alpha
+	b.length = 0
+	b.head, b.tail = noSlot, noSlot
+	b.rtHead, b.rtTail = noSlot, noSlot
+	b.accepted, b.evicted = 0, 0
+	b.dropped = [4]uint64{}
+	b.freeHead = noSlot
+	for i := len(b.slots) - 1; i >= 0; i-- {
+		b.slots[i] = slot{pkt: nil, prev: noSlot, next: b.freeHead, rtNext: noSlot}
+		b.freeHead = int32(i)
 	}
 }
 
 // Len returns the number of buffered packets.
-func (b *Buffer) Len() int { return len(b.items) }
+func (b *Buffer) Len() int { return b.length }
 
 // Cap returns the buffer capacity in packets.
 func (b *Buffer) Cap() int { return b.capacity }
 
 // Free returns the remaining capacity.
-func (b *Buffer) Free() int { return b.capacity - len(b.items) }
+func (b *Buffer) Free() int { return b.capacity - b.length }
 
 // Full reports whether no slot remains.
 func (b *Buffer) Full() bool { return b.Free() <= 0 }
@@ -100,6 +188,56 @@ func (b *Buffer) DroppedTotal() uint64 {
 	return total
 }
 
+// pushTail links pkt into a free slot at the arrival-order tail.
+// The caller must have checked capacity.
+func (b *Buffer) pushTail(pkt *inet.Packet) {
+	idx := b.freeHead
+	s := &b.slots[idx]
+	b.freeHead = s.next
+	s.pkt = pkt
+	s.prev = b.tail
+	s.next = noSlot
+	s.rtNext = noSlot
+	if b.tail != noSlot {
+		b.slots[b.tail].next = idx
+	} else {
+		b.head = idx
+	}
+	b.tail = idx
+	if pkt.EffectiveClass() == inet.ClassRealTime {
+		if b.rtTail != noSlot {
+			b.slots[b.rtTail].rtNext = idx
+		} else {
+			b.rtHead = idx
+		}
+		b.rtTail = idx
+	}
+	b.length++
+	b.accepted++
+}
+
+// unlink removes the occupied slot idx from the arrival list and returns
+// its packet to the caller, putting the slot back on the free chain. It
+// does not touch the real-time chain; the caller handles that.
+func (b *Buffer) unlink(idx int32) *inet.Packet {
+	s := &b.slots[idx]
+	pkt := s.pkt
+	if s.prev != noSlot {
+		b.slots[s.prev].next = s.next
+	} else {
+		b.head = s.next
+	}
+	if s.next != noSlot {
+		b.slots[s.next].prev = s.prev
+	} else {
+		b.tail = s.prev
+	}
+	*s = slot{pkt: nil, prev: noSlot, next: b.freeHead, rtNext: noSlot}
+	b.freeHead = idx
+	b.length--
+	return pkt
+}
+
 // Push appends pkt, tail-dropping it when the buffer is full. It returns
 // the drop reason (DropNone on success).
 func (b *Buffer) Push(pkt *inet.Packet) DropReason {
@@ -107,8 +245,7 @@ func (b *Buffer) Push(pkt *inet.Packet) DropReason {
 		b.countDrop(pkt)
 		return DropFull
 	}
-	b.items = append(b.items, pkt)
-	b.accepted++
+	b.pushTail(pkt)
 	return DropNone
 }
 
@@ -124,27 +261,22 @@ func (b *Buffer) PushDropHead(pkt *inet.Packet) (evicted *inet.Packet, reason Dr
 		b.countDrop(pkt)
 		return nil, DropFull
 	}
-	if b.Full() {
-		idx := -1
-		for i, p := range b.items {
-			if p.EffectiveClass() == inet.ClassRealTime {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
+	if b.length >= b.capacity {
+		idx := b.rtHead
+		if idx == noSlot {
 			b.countDrop(pkt)
 			return nil, DropFull
 		}
-		evicted = b.items[idx]
-		copy(b.items[idx:], b.items[idx+1:])
-		b.items = b.items[:len(b.items)-1]
+		b.rtHead = b.slots[idx].rtNext
+		if b.rtHead == noSlot {
+			b.rtTail = noSlot
+		}
+		evicted = b.unlink(idx)
 		b.evicted++
 		b.countDrop(evicted)
 		reason = DropHead
 	}
-	b.items = append(b.items, pkt)
-	b.accepted++
+	b.pushTail(pkt)
 	return evicted, reason
 }
 
@@ -155,32 +287,66 @@ func (b *Buffer) PushIfAboveAlpha(pkt *inet.Packet) DropReason {
 		b.countDrop(pkt)
 		return DropBelowAlpha
 	}
-	b.items = append(b.items, pkt)
-	b.accepted++
+	b.pushTail(pkt)
 	return DropNone
 }
 
 // Pop removes and returns the oldest packet, or nil when empty.
 func (b *Buffer) Pop() *inet.Packet {
-	if len(b.items) == 0 {
+	idx := b.head
+	if idx == noSlot {
 		return nil
 	}
-	pkt := b.items[0]
-	copy(b.items, b.items[1:])
-	b.items = b.items[:len(b.items)-1]
-	return pkt
+	if idx == b.rtHead {
+		// The overall head is the oldest real-time packet: advance the
+		// class chain with it.
+		b.rtHead = b.slots[idx].rtNext
+		if b.rtHead == noSlot {
+			b.rtTail = noSlot
+		}
+	}
+	return b.unlink(idx)
 }
 
-// Drain removes and returns all packets in FIFO order.
+// Drain removes and returns all packets in FIFO order. The returned slice
+// is freshly allocated and owned by the caller; it never aliases buffer
+// storage. Prefer DrainTo on hot paths to reuse a scratch slice.
 func (b *Buffer) Drain() []*inet.Packet {
-	out := b.items
-	b.items = nil
-	return out
+	if b.length == 0 {
+		return nil
+	}
+	return b.DrainTo(make([]*inet.Packet, 0, b.length))
+}
+
+// DrainTo appends all packets in FIFO order to dst and returns the
+// extended slice, emptying the buffer. dst may be nil or a recycled
+// scratch slice; when its capacity suffices, DrainTo allocates nothing.
+// Ownership of the packets transfers to the caller.
+func (b *Buffer) DrainTo(dst []*inet.Packet) []*inet.Packet {
+	for idx := b.head; idx != noSlot; idx = b.slots[idx].next {
+		dst = append(dst, b.slots[idx].pkt)
+	}
+	b.clearLinks()
+	return dst
 }
 
 // Clear discards the contents without counting drops (used when a session's
 // lifetime expires after the packets were already forwarded elsewhere).
-func (b *Buffer) Clear() { b.items = nil }
+func (b *Buffer) Clear() { b.clearLinks() }
+
+// clearLinks releases every occupied slot back to the free chain.
+func (b *Buffer) clearLinks() {
+	for idx := b.head; idx != noSlot; {
+		s := &b.slots[idx]
+		next := s.next
+		*s = slot{pkt: nil, prev: noSlot, next: b.freeHead, rtNext: noSlot}
+		b.freeHead = idx
+		idx = next
+	}
+	b.head, b.tail = noSlot, noSlot
+	b.rtHead, b.rtTail = noSlot, noSlot
+	b.length = 0
+}
 
 func (b *Buffer) countDrop(pkt *inet.Packet) {
 	b.dropped[pkt.EffectiveClass()]++

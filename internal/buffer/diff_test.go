@@ -1,0 +1,329 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/inet"
+)
+
+// refBuffer is a deliberately naive slice implementation of the Buffer
+// contract, kept as the oracle for the differential test: every operation
+// is the obvious O(n) version, so any divergence points at the ring.
+type refBuffer struct {
+	capacity int
+	alpha    int
+	items    []*inet.Packet
+
+	accepted uint64
+	evicted  uint64
+	dropped  map[inet.Class]uint64
+}
+
+func newRef(capacity, alpha int) *refBuffer {
+	return &refBuffer{capacity: capacity, alpha: alpha, dropped: make(map[inet.Class]uint64)}
+}
+
+func (b *refBuffer) countDrop(pkt *inet.Packet) { b.dropped[pkt.EffectiveClass()]++ }
+
+func (b *refBuffer) push(pkt *inet.Packet) DropReason {
+	if len(b.items) >= b.capacity {
+		b.countDrop(pkt)
+		return DropFull
+	}
+	b.items = append(b.items, pkt)
+	b.accepted++
+	return DropNone
+}
+
+func (b *refBuffer) pushDropHead(pkt *inet.Packet) (*inet.Packet, DropReason) {
+	if b.capacity == 0 {
+		b.countDrop(pkt)
+		return nil, DropFull
+	}
+	var evicted *inet.Packet
+	reason := DropNone
+	if len(b.items) >= b.capacity {
+		idx := -1
+		for i, p := range b.items {
+			if p.EffectiveClass() == inet.ClassRealTime {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			b.countDrop(pkt)
+			return nil, DropFull
+		}
+		evicted = b.items[idx]
+		b.items = append(b.items[:idx], b.items[idx+1:]...)
+		b.evicted++
+		b.countDrop(evicted)
+		reason = DropHead
+	}
+	b.items = append(b.items, pkt)
+	b.accepted++
+	return evicted, reason
+}
+
+func (b *refBuffer) pushIfAboveAlpha(pkt *inet.Packet) DropReason {
+	if b.capacity-len(b.items) <= b.alpha {
+		b.countDrop(pkt)
+		return DropBelowAlpha
+	}
+	b.items = append(b.items, pkt)
+	b.accepted++
+	return DropNone
+}
+
+func (b *refBuffer) pop() *inet.Packet {
+	if len(b.items) == 0 {
+		return nil
+	}
+	pkt := b.items[0]
+	b.items = b.items[1:]
+	return pkt
+}
+
+func (b *refBuffer) drain() []*inet.Packet {
+	out := b.items
+	b.items = nil
+	return out
+}
+
+func (b *refBuffer) clear() { b.items = nil }
+
+// checkState compares every observable of the ring buffer against the
+// oracle: length, counters, per-class drop counts, and full contents (via
+// a drain that is undone by re-pushing into fresh buffers when needed —
+// here we only compare after ops, so contents are checked lazily through
+// pops at the end of each round).
+func checkState(t *testing.T, step int, b *Buffer, ref *refBuffer) {
+	t.Helper()
+	if b.Len() != len(ref.items) {
+		t.Fatalf("step %d: Len=%d want %d", step, b.Len(), len(ref.items))
+	}
+	if b.Accepted() != ref.accepted {
+		t.Fatalf("step %d: Accepted=%d want %d", step, b.Accepted(), ref.accepted)
+	}
+	if b.Evicted() != ref.evicted {
+		t.Fatalf("step %d: Evicted=%d want %d", step, b.Evicted(), ref.evicted)
+	}
+	for _, c := range inet.Classes {
+		if b.Dropped(c) != ref.dropped[c] {
+			t.Fatalf("step %d: Dropped(%v)=%d want %d", step, c, b.Dropped(c), ref.dropped[c])
+		}
+	}
+}
+
+// TestBufferDifferential drives the ring buffer and the naive reference
+// through the same seeded random operation stream and requires identical
+// packet order, drop reasons, evictions, and counters at every step.
+func TestBufferDifferential(t *testing.T) {
+	classes := []inet.Class{
+		inet.ClassUnspecified, inet.ClassRealTime,
+		inet.ClassHighPriority, inet.ClassBestEffort,
+	}
+	for _, cfg := range []struct{ capacity, alpha int }{
+		{0, 0}, {1, 0}, {3, 1}, {8, 2}, {17, 5}, {64, 16},
+	} {
+		rng := rand.New(rand.NewSource(int64(0x5eed + cfg.capacity)))
+		b := New(cfg.capacity, cfg.alpha)
+		ref := newRef(cfg.capacity, cfg.alpha)
+		var seq uint32
+		for step := 0; step < 20000; step++ {
+			op := rng.Intn(100)
+			switch {
+			case op < 30:
+				seq++
+				p := pkt(classes[rng.Intn(len(classes))], seq)
+				if got, want := b.Push(p), ref.push(p); got != want {
+					t.Fatalf("cap=%d step %d: Push=%v want %v", cfg.capacity, step, got, want)
+				}
+			case op < 60:
+				seq++
+				p := pkt(classes[rng.Intn(len(classes))], seq)
+				gotEv, gotR := b.PushDropHead(p)
+				wantEv, wantR := ref.pushDropHead(p)
+				if gotEv != wantEv || gotR != wantR {
+					t.Fatalf("cap=%d step %d: PushDropHead=(%v,%v) want (%v,%v)",
+						cfg.capacity, step, gotEv, gotR, wantEv, wantR)
+				}
+			case op < 80:
+				seq++
+				p := pkt(classes[rng.Intn(len(classes))], seq)
+				if got, want := b.PushIfAboveAlpha(p), ref.pushIfAboveAlpha(p); got != want {
+					t.Fatalf("cap=%d step %d: PushIfAboveAlpha=%v want %v", cfg.capacity, step, got, want)
+				}
+			case op < 95:
+				if got, want := b.Pop(), ref.pop(); got != want {
+					t.Fatalf("cap=%d step %d: Pop=%v want %v", cfg.capacity, step, got, want)
+				}
+			case op < 98:
+				got, want := b.Drain(), ref.drain()
+				if len(got) != len(want) {
+					t.Fatalf("cap=%d step %d: Drain len=%d want %d", cfg.capacity, step, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("cap=%d step %d: Drain[%d]=%v want %v", cfg.capacity, step, i, got[i], want[i])
+					}
+				}
+			default:
+				b.Clear()
+				ref.clear()
+			}
+			checkState(t, step, b, ref)
+		}
+		// Final content check: pop everything and compare order.
+		for {
+			got, want := b.Pop(), ref.pop()
+			if got != want {
+				t.Fatalf("cap=%d final: Pop=%v want %v", cfg.capacity, got, want)
+			}
+			if got == nil {
+				break
+			}
+		}
+	}
+}
+
+// TestBufferDifferentialThroughFreeList repeats a shorter differential run
+// on buffers recycled through a FreeList, so slab reuse cannot leak state
+// between sessions.
+func TestBufferDifferentialThroughFreeList(t *testing.T) {
+	var fl FreeList
+	classes := []inet.Class{
+		inet.ClassUnspecified, inet.ClassRealTime,
+		inet.ClassHighPriority, inet.ClassBestEffort,
+	}
+	rng := rand.New(rand.NewSource(0xf1ee))
+	var seq uint32
+	for round := 0; round < 200; round++ {
+		capacity := 1 + rng.Intn(40)
+		alpha := rng.Intn(capacity)
+		b := fl.Get(capacity, alpha)
+		if b.Cap() != capacity || b.Alpha() != alpha || b.Len() != 0 ||
+			b.Accepted() != 0 || b.Evicted() != 0 || b.DroppedTotal() != 0 {
+			t.Fatalf("round %d: recycled buffer not pristine: cap=%d α=%d len=%d acc=%d ev=%d drop=%d",
+				round, b.Cap(), b.Alpha(), b.Len(), b.Accepted(), b.Evicted(), b.DroppedTotal())
+		}
+		ref := newRef(capacity, alpha)
+		for step := 0; step < 200; step++ {
+			seq++
+			p := pkt(classes[rng.Intn(len(classes))], seq)
+			switch rng.Intn(4) {
+			case 0:
+				if got, want := b.Push(p), ref.push(p); got != want {
+					t.Fatalf("round %d step %d: Push=%v want %v", round, step, got, want)
+				}
+			case 1:
+				gotEv, gotR := b.PushDropHead(p)
+				wantEv, wantR := ref.pushDropHead(p)
+				if gotEv != wantEv || gotR != wantR {
+					t.Fatalf("round %d step %d: PushDropHead mismatch", round, step)
+				}
+			case 2:
+				if got, want := b.PushIfAboveAlpha(p), ref.pushIfAboveAlpha(p); got != want {
+					t.Fatalf("round %d step %d: PushIfAboveAlpha=%v want %v", round, step, got, want)
+				}
+			case 3:
+				if got, want := b.Pop(), ref.pop(); got != want {
+					t.Fatalf("round %d step %d: Pop=%v want %v", round, step, got, want)
+				}
+			}
+			checkState(t, step, b, ref)
+		}
+		fl.Put(b)
+	}
+}
+
+// TestDrainDoesNotAliasStorage pins the satellite fix: the slice returned
+// by Drain must stay valid after the buffer is refilled or recycled.
+func TestDrainDoesNotAliasStorage(t *testing.T) {
+	b := New(4, 0)
+	first := []*inet.Packet{pkt(inet.ClassRealTime, 1), pkt(inet.ClassBestEffort, 2)}
+	for _, p := range first {
+		if r := b.Push(p); r != DropNone {
+			t.Fatalf("Push: %v", r)
+		}
+	}
+	out := b.Drain()
+	for i := uint32(10); i < 14; i++ {
+		b.Push(pkt(inet.ClassHighPriority, i))
+	}
+	b.Clear()
+	for i, p := range out {
+		if p != first[i] {
+			t.Fatalf("drained slice mutated by refill: out[%d]=%v want %v", i, p, first[i])
+		}
+	}
+	if got := b.Drain(); got != nil {
+		t.Fatalf("Drain of empty buffer = %v, want nil", got)
+	}
+}
+
+// TestDrainTo reuses a caller scratch slice across drains.
+func TestDrainTo(t *testing.T) {
+	b := New(8, 0)
+	scratch := make([]*inet.Packet, 0, 8)
+	for round := uint32(0); round < 3; round++ {
+		for i := uint32(0); i < 5; i++ {
+			b.Push(pkt(inet.ClassRealTime, round*10+i))
+		}
+		scratch = b.DrainTo(scratch[:0])
+		if len(scratch) != 5 || b.Len() != 0 {
+			t.Fatalf("round %d: drained %d packets (len %d), want 5 (0)", round, len(scratch), b.Len())
+		}
+		for i, p := range scratch {
+			if p.Seq != round*10+uint32(i) {
+				t.Fatalf("round %d: scratch[%d].Seq=%d want %d", round, i, p.Seq, round*10+uint32(i))
+			}
+		}
+	}
+}
+
+// TestNewChecked covers the α-bounds satellite: configurations that can
+// never admit a best-effort packet are rejected with an error.
+func TestNewChecked(t *testing.T) {
+	if _, err := NewChecked(10, 3); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if b, err := NewChecked(0, 0); err != nil || b == nil {
+		t.Fatalf("zero-capacity buffer rejected: %v", err)
+	}
+	for _, bad := range []struct{ capacity, alpha int }{
+		{10, 10}, {10, 11}, {1, 1}, {-1, 0}, {5, -2},
+	} {
+		if _, err := NewChecked(bad.capacity, bad.alpha); err == nil {
+			t.Fatalf("NewChecked(%d, %d) accepted a misconfiguration", bad.capacity, bad.alpha)
+		}
+	}
+}
+
+// TestFreeListBucketsBySize checks that Get reuses compatible slabs and
+// that oversized buffers are not cached.
+func TestFreeListBucketsBySize(t *testing.T) {
+	var fl FreeList
+	a := fl.Get(10, 2) // slab 16
+	a.Push(pkt(inet.ClassRealTime, 1))
+	fl.Put(a)
+	b := fl.Get(12, 3) // same bucket: must reuse a's slab
+	if b != a {
+		t.Fatal("Get(12) did not reuse the 16-slot slab from Put(Get(10))")
+	}
+	if b.Len() != 0 || b.Accepted() != 0 {
+		t.Fatalf("recycled buffer kept state: len=%d accepted=%d", b.Len(), b.Accepted())
+	}
+	fl.Put(b)
+	c := fl.Get(17, 0) // slab 32: different bucket
+	if c == b {
+		t.Fatal("Get(17) reused a 16-slot slab")
+	}
+	fl.Put(nil) // must not panic
+	huge := New(1<<maxFreeBucket+1, 0)
+	fl.Put(huge) // silently uncached
+	if got := fl.Get(1<<maxFreeBucket+1, 0); got == huge {
+		t.Fatal("oversized buffer was cached")
+	}
+}

@@ -1,0 +1,65 @@
+package buffer
+
+import "math/bits"
+
+// maxFreeBucket bounds the slab sizes the free list retains: buffers with
+// more than 1<<maxFreeBucket slots are handed back to the garbage
+// collector rather than cached. Per-session grants are bounded by the
+// router's pool size, so real workloads sit far below this.
+const maxFreeBucket = 20
+
+// FreeList recycles Buffers bucketed by power-of-two slab size, so that a
+// router churning through handoff sessions reuses ring storage instead of
+// allocating per session (the buffer-path counterpart of the packet free
+// list in internal/inet/pool.go). The zero value is ready to use.
+//
+// FreeList is not safe for concurrent use; like the simulation engine it
+// serves, each worker owns its own.
+type FreeList struct {
+	buckets [maxFreeBucket + 1][]*Buffer
+}
+
+// bucketFor maps a capacity to its slab-size bucket, or -1 when the
+// capacity is not cacheable (zero, or beyond maxFreeBucket).
+func bucketFor(capacity int) int {
+	if capacity <= 0 {
+		return -1
+	}
+	k := bits.Len(uint(capacity - 1))
+	if k > maxFreeBucket {
+		return -1
+	}
+	return k
+}
+
+// Get returns an empty buffer with the given capacity and α, reusing
+// cached slab storage when a same-sized buffer was Put earlier. Counters
+// start at zero either way.
+func (fl *FreeList) Get(capacity, alpha int) *Buffer {
+	k := bucketFor(capacity)
+	if k >= 0 {
+		if n := len(fl.buckets[k]); n > 0 {
+			b := fl.buckets[k][n-1]
+			fl.buckets[k][n-1] = nil
+			fl.buckets[k] = fl.buckets[k][:n-1]
+			b.reset(capacity, alpha)
+			return b
+		}
+	}
+	return New(capacity, alpha)
+}
+
+// Put clears b (discarding any remaining packet references without
+// counting drops) and caches it for a future Get of a compatible
+// capacity. b must not be used after Put. A nil b is ignored.
+func (fl *FreeList) Put(b *Buffer) {
+	if b == nil {
+		return
+	}
+	b.Clear()
+	k := bucketFor(len(b.slots))
+	if k < 0 || len(b.slots) != 1<<k {
+		return
+	}
+	fl.buckets[k] = append(fl.buckets[k], b)
+}

@@ -52,6 +52,23 @@ type ARConfig struct {
 	RetransmitUnacked bool
 }
 
+// Validate reports configuration errors that would silently disable parts
+// of the scheme: an α threshold at or above the whole pool means no grant
+// can ever admit a best-effort packet (buffer.NewChecked makes the same
+// check per buffer).
+func (cfg ARConfig) Validate() error {
+	if cfg.PoolSize < 0 {
+		return fmt.Errorf("core: negative pool size %d", cfg.PoolSize)
+	}
+	if cfg.Alpha < 0 {
+		return fmt.Errorf("core: negative alpha %d", cfg.Alpha)
+	}
+	if cfg.PoolSize > 0 && cfg.Alpha >= cfg.PoolSize {
+		return fmt.Errorf("core: alpha %d >= pool size %d would refuse every best-effort packet", cfg.Alpha, cfg.PoolSize)
+	}
+	return nil
+}
+
 // DefaultGraceDelay is the default NAR session linger after release.
 const DefaultGraceDelay = 1 * sim.Second
 
@@ -127,6 +144,8 @@ type session struct {
 
 	startTimer *sim.Timer
 	lifeTimer  *sim.Timer
+	// graceTimer defers the NAR reservation return after release.
+	graceTimer *sim.Timer
 
 	// PAR: HI retransmission until the HAck arrives or tries exhaust.
 	hiTimer *sim.Timer
@@ -156,6 +175,19 @@ type AccessRouter struct {
 	sessions map[inet.Addr]*session
 	auth     *fho.Authenticator
 
+	// Free lists keep the steady-state handoff path allocation-free:
+	// session objects (with their pre-bound timers), their buffer slabs,
+	// and paced-drain jobs are all recycled.
+	sessFree  []*session
+	bufFree   buffer.FreeList
+	drainFree []*drainJob
+
+	// Pool-pressure accounting for the metro-scale capacity experiment.
+	poolGrants   uint64
+	poolRefusals uint64
+	grantLive    int
+	grantPeak    int
+
 	// fallbackRoutes bounds the stale PCoA host routes installed by the
 	// no-session FNA fallback, which have no owning session to tear them
 	// down.
@@ -175,15 +207,28 @@ type AccessRouter struct {
 }
 
 // reserve claims buffer space per the configured grant policy, returning
-// the granted size (zero when refused).
+// the granted size (zero when refused). Outcomes feed the pool-pressure
+// counters: a refusal is a handoff the router could not buffer for.
 func (ar *AccessRouter) reserve(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	granted := 0
 	if ar.cfg.PartialGrants {
-		return ar.pool.ReservePartial(n)
+		granted = ar.pool.ReservePartial(n)
+	} else if ar.pool.Reserve(n) {
+		granted = n
 	}
-	if ar.pool.Reserve(n) {
-		return n
+	if granted <= 0 {
+		ar.poolRefusals++
+		return 0
 	}
-	return 0
+	ar.poolGrants++
+	ar.grantLive++
+	if ar.grantLive > ar.grantPeak {
+		ar.grantPeak = ar.grantLive
+	}
+	return granted
 }
 
 // NewAccessRouter wraps router with the handover engine. It installs the
@@ -192,6 +237,9 @@ func NewAccessRouter(engine *sim.Engine, router *netsim.Router, net inet.NetID,
 	dir *Directory, cfg ARConfig) *AccessRouter {
 	if !cfg.Scheme.Valid() {
 		panic("core: NewAccessRouter with invalid scheme")
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.GraceDelay == 0 {
 		cfg.GraceDelay = DefaultGraceDelay
@@ -239,6 +287,17 @@ func (ar *AccessRouter) ControlSent(kind fho.Kind) uint64 { return ar.controlSen
 
 // Sessions returns the number of live handoff sessions.
 func (ar *AccessRouter) Sessions() int { return len(ar.sessions) }
+
+// PoolGrants counts buffer reservations the router granted.
+func (ar *AccessRouter) PoolGrants() uint64 { return ar.poolGrants }
+
+// PoolRefusals counts buffer requests the router turned away with an
+// exhausted pool — each one is a handoff that proceeds unbuffered.
+func (ar *AccessRouter) PoolRefusals() uint64 { return ar.poolRefusals }
+
+// PeakGrantedSessions returns the maximum number of sessions that held a
+// buffer grant simultaneously: the router's observed handoff concurrency.
+func (ar *AccessRouter) PeakGrantedSessions() int { return ar.grantPeak }
 
 // AuthRejects counts handover messages refused for failing
 // authentication.
@@ -359,7 +418,7 @@ func (ar *AccessRouter) handleRtSolPr(in *netsim.Iface, pkt *inet.Packet, msg *f
 			// buffered back through the (still installed) resident route.
 			s.redirecting = false
 			if s.buf != nil {
-				ar.drain(s.buf, nil)
+				ar.drain(s.buf, inet.Addr{})
 			}
 			ar.closeSession(s, false)
 		}
@@ -405,11 +464,12 @@ func (ar *AccessRouter) handleRtSolPr(in *netsim.Iface, pkt *inet.Packet, msg *f
 // router, so only local buffering is set up and PrRtAdv is returned
 // directly.
 func (ar *AccessRouter) initLinkLayerHandoff(pkt *inet.Packet, msg *fho.RtSolPr) {
-	s := &session{role: roleLinkLayer, pcoa: msg.MH, ncoa: msg.MH}
+	s := ar.newSession()
+	s.role, s.pcoa, s.ncoa = roleLinkLayer, msg.MH, msg.MH
 	if msg.BI != nil {
 		if granted := ar.reserve(int(msg.BI.Size)); granted > 0 {
 			s.granted = granted
-			s.buf = buffer.New(granted, ar.cfg.Alpha)
+			s.buf = ar.bufFree.Get(granted, ar.cfg.Alpha)
 			s.avail = buffer.Availability{PAR: true}
 		}
 	}
@@ -466,17 +526,16 @@ func (ar *AccessRouter) initNetworkHandoff(pkt *inet.Packet, msg *fho.RtSolPr) {
 		ar.sendControl(msg.MH, &fho.PrRtAdv{})
 		return
 	}
-	s := &session{
-		role:     rolePAR,
-		pcoa:     msg.MH,
-		ncoa:     inet.Addr{Net: info.Net, Host: msg.MH.Host},
-		peer:     info.Addr,
-		targetAP: msg.TargetAP,
-	}
+	s := ar.newSession()
+	s.role = rolePAR
+	s.pcoa = msg.MH
+	s.ncoa = inet.Addr{Net: info.Net, Host: msg.MH.Host}
+	s.peer = info.Addr
+	s.targetAP = msg.TargetAP
 	if msg.BI != nil && ar.cfg.Scheme.WantsPARBuffer() {
 		if granted := ar.reserve(int(msg.BI.Size)); granted > 0 {
 			s.granted = granted
-			s.buf = buffer.New(granted, ar.cfg.Alpha)
+			s.buf = ar.bufFree.Get(granted, ar.cfg.Alpha)
 			s.avail.PAR = true
 		}
 	}
@@ -522,8 +581,9 @@ func (ar *AccessRouter) retryHI(s *session) {
 	}
 	if s.hiTries >= ar.cfg.MaxSignalTries {
 		ar.signalingFailures++
+		pcoa := s.pcoa // closeSession recycles s
 		ar.closeSession(s, false)
-		ar.sendControl(s.pcoa, &fho.PrRtAdv{})
+		ar.sendControl(pcoa, &fho.PrRtAdv{})
 		return
 	}
 	s.hiTries++
@@ -539,18 +599,22 @@ func (ar *AccessRouter) armTimers(s *session, bi *fho.BufferInit) {
 	life := DefaultSessionLifetime
 	if bi != nil {
 		if bi.Start > 0 {
-			s.startTimer = sim.NewTimer(ar.engine, func() {
-				if !s.redirecting {
-					s.redirecting = true
-				}
-			})
+			if s.startTimer == nil {
+				s.startTimer = sim.NewTimer(ar.engine, func() {
+					if !s.redirecting {
+						s.redirecting = true
+					}
+				})
+			}
 			s.startTimer.ResetAt(bi.Start)
 		}
 		if bi.Lifetime > 0 {
 			life = bi.Lifetime
 		}
 	}
-	s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
+	if s.lifeTimer == nil {
+		s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
+	}
 	s.lifeTimer.Reset(life)
 }
 
@@ -572,19 +636,18 @@ func (ar *AccessRouter) handleHI(in *netsim.Iface, pkt *inet.Packet, msg *fho.HI
 		ar.sendControl(s.peer, hack)
 		return
 	}
-	s := &session{
-		role:  roleNAR,
-		pcoa:  msg.PCoA,
-		ncoa:  msg.NCoA,
-		peer:  pkt.Src,
-		avail: buffer.Availability{PAR: msg.PARGranted},
-	}
+	s := ar.newSession()
+	s.role = roleNAR
+	s.pcoa = msg.PCoA
+	s.ncoa = msg.NCoA
+	s.peer = pkt.Src
+	s.avail = buffer.Availability{PAR: msg.PARGranted}
 	hack := &fho.HAck{Accepted: true, PCoA: msg.PCoA}
 	if msg.BR != nil {
 		granted := ar.reserve(int(msg.BR.Size))
 		if granted > 0 {
 			s.granted = granted
-			s.buf = buffer.New(granted, ar.cfg.Alpha)
+			s.buf = ar.bufFree.Get(granted, ar.cfg.Alpha)
 			s.avail.NAR = true
 		}
 		hack.BA = &fho.BufferAck{Granted: granted > 0, Size: uint16(granted)}
@@ -593,7 +656,9 @@ func (ar *AccessRouter) handleHI(in *netsim.Iface, pkt *inet.Packet, msg *fho.HI
 	if msg.BR != nil && msg.BR.Lifetime > 0 {
 		life = msg.BR.Lifetime
 	}
-	s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
+	if s.lifeTimer == nil {
+		s.lifeTimer = sim.NewTimer(ar.engine, func() { ar.expire(s) })
+	}
 	s.lifeTimer.Reset(life)
 	ar.sessions[msg.PCoA] = s
 	// Host route so redirected (and forward-only) packets for the PCoA
@@ -775,7 +840,7 @@ func (ar *AccessRouter) handleFNA(in *netsim.Iface, msg *fho.FNA) {
 	}
 	s.released = true
 	if s.buf != nil {
-		ar.drain(s.buf, nil)
+		ar.drain(s.buf, inet.Addr{})
 	}
 	if msg.BufferForward && !s.peer.IsUnspecified() {
 		ar.sendControl(s.peer, &fho.BF{PCoA: msg.PCoA})
@@ -790,11 +855,14 @@ func (ar *AccessRouter) handleFNA(in *netsim.Iface, msg *fho.FNA) {
 	// Linger so the PAR's drained packets still find the session, then
 	// return the reservation. The NCoA host route stays: the host now
 	// lives here.
-	ar.engine.Schedule(ar.cfg.GraceDelay, func() {
-		if cur, ok := ar.sessions[msg.PCoA]; ok && cur == s {
-			ar.closeSession(s, false)
-		}
-	})
+	if s.graceTimer == nil {
+		s.graceTimer = sim.NewTimer(ar.engine, func() {
+			if cur, ok := ar.sessions[s.pcoa]; ok && cur == s {
+				ar.closeSession(s, false)
+			}
+		})
+	}
+	s.graceTimer.Reset(ar.cfg.GraceDelay)
 }
 
 // retryBF blindly retransmits the unacknowledged BF relay toward the PAR,
@@ -853,14 +921,12 @@ func (ar *AccessRouter) handleBF(in *netsim.Iface, msg *fho.BF) {
 		}
 		s.redirecting = false
 		if s.buf != nil {
-			ar.drain(s.buf, nil)
+			ar.drain(s.buf, inet.Addr{})
 		}
 		ar.closeSession(s, false)
 	case rolePAR:
 		if s.buf != nil {
-			ar.drain(s.buf, func(pkt *inet.Packet) {
-				ar.tunnelToPeer(s, pkt)
-			})
+			ar.drain(s.buf, s.peer)
 		}
 		s.redirecting = false
 		ar.DetachResident(s.pcoa)
@@ -870,24 +936,88 @@ func (ar *AccessRouter) handleBF(in *netsim.Iface, msg *fho.BF) {
 	}
 }
 
-// drain empties a buffer in FIFO order. A nil send forwards through the
-// routing table; otherwise send is invoked per packet. DrainInterval, when
-// configured, paces the release.
-func (ar *AccessRouter) drain(buf *buffer.Buffer, send func(*inet.Packet)) {
-	if send == nil {
-		send = ar.router.Forward
-	}
+// drain empties a buffer in FIFO order. An unspecified peer forwards each
+// packet through the routing table; otherwise packets are tunnelled to
+// peer. DrainInterval, when configured, paces the release through a single
+// self-rescheduling drain job (one live event regardless of backlog size)
+// instead of one scheduled closure per packet.
+func (ar *AccessRouter) drain(buf *buffer.Buffer, peer inet.Addr) {
 	if ar.cfg.DrainInterval <= 0 {
-		for _, pkt := range buf.Drain() {
-			send(pkt)
+		for pkt := buf.Pop(); pkt != nil; pkt = buf.Pop() {
+			ar.drainSend(pkt, peer)
 		}
 		return
 	}
-	pkts := buf.Drain()
-	for i, pkt := range pkts {
-		pkt := pkt
-		ar.engine.Schedule(sim.Time(i)*ar.cfg.DrainInterval, func() { send(pkt) })
+	job := ar.newDrainJob()
+	job.pkts = buf.DrainTo(job.pkts[:0])
+	if len(job.pkts) == 0 {
+		ar.freeDrainJob(job)
+		return
 	}
+	job.peer = peer
+	ar.engine.Schedule(0, job.step)
+}
+
+// drainSend releases one drained packet toward its destination.
+func (ar *AccessRouter) drainSend(pkt *inet.Packet, peer inet.Addr) {
+	if peer.IsUnspecified() {
+		ar.router.Forward(pkt)
+		return
+	}
+	ar.router.Forward(pkt.Encapsulate(ar.router.Addr(), peer))
+}
+
+// drainJob is a paced buffer release in flight: a snapshot of the drained
+// packets and a pre-bound step handler that sends one packet per
+// DrainInterval. The job owns its packet scratch slice and survives its
+// session (matching the old per-packet closures, which also outlived the
+// session), so a recycled session cannot disturb an ongoing release.
+type drainJob struct {
+	ar   *AccessRouter
+	pkts []*inet.Packet
+	next int
+	peer inet.Addr
+	step func()
+}
+
+// newDrainJob takes a job off the free list, or builds one with its step
+// handler bound once.
+func (ar *AccessRouter) newDrainJob() *drainJob {
+	if n := len(ar.drainFree); n > 0 {
+		j := ar.drainFree[n-1]
+		ar.drainFree[n-1] = nil
+		ar.drainFree = ar.drainFree[:n-1]
+		return j
+	}
+	j := &drainJob{ar: ar}
+	j.step = j.fire
+	return j
+}
+
+// freeDrainJob resets a finished job and recycles it.
+func (ar *AccessRouter) freeDrainJob(j *drainJob) {
+	for i := range j.pkts {
+		j.pkts[i] = nil
+	}
+	j.pkts = j.pkts[:0]
+	j.next = 0
+	j.peer = inet.Addr{}
+	ar.drainFree = append(ar.drainFree, j)
+}
+
+// fire sends the next drained packet and reschedules itself until the
+// snapshot is exhausted.
+func (j *drainJob) fire() {
+	ar := j.ar
+	pkt := j.pkts[j.next]
+	j.pkts[j.next] = nil
+	j.next++
+	ar.drainSend(pkt, j.peer)
+	if j.next < len(j.pkts) {
+		ar.engine.Schedule(ar.cfg.DrainInterval, j.step)
+		return
+	}
+	ar.freeDrainJob(j)
 }
 
 // --- session lifecycle ---
@@ -899,7 +1029,7 @@ func (ar *AccessRouter) expire(s *session) {
 		return
 	}
 	if s.buf != nil {
-		for _, pkt := range s.buf.Drain() {
+		for pkt := s.buf.Pop(); pkt != nil; pkt = s.buf.Pop() {
 			ar.drop(pkt, DropOnLifetime)
 		}
 	}
@@ -907,13 +1037,17 @@ func (ar *AccessRouter) expire(s *session) {
 }
 
 // closeSession tears down timers, reservations, and (for NAR sessions) the
-// PCoA host route.
+// PCoA host route, then recycles the session and its buffer. Callers must
+// not touch s afterwards.
 func (ar *AccessRouter) closeSession(s *session, expired bool) {
 	if s.startTimer != nil {
 		s.startTimer.Stop()
 	}
 	if s.lifeTimer != nil {
 		s.lifeTimer.Stop()
+	}
+	if s.graceTimer != nil {
+		s.graceTimer.Stop()
 	}
 	if s.hiTimer != nil {
 		s.hiTimer.Stop()
@@ -923,13 +1057,47 @@ func (ar *AccessRouter) closeSession(s *session, expired bool) {
 	}
 	if s.granted > 0 {
 		ar.pool.Release(s.granted)
+		ar.grantLive--
 		s.granted = 0
+	}
+	if s.buf != nil {
+		ar.bufFree.Put(s.buf)
+		s.buf = nil
 	}
 	if s.role == roleNAR {
 		ar.router.RemoveHostRoute(s.pcoa)
 	}
 	delete(ar.sessions, s.pcoa)
+	ar.freeSession(s)
 	_ = expired
+}
+
+// newSession takes a session off the free list (keeping its pre-bound
+// timers, which closeSession already stopped) or allocates a fresh one.
+func (ar *AccessRouter) newSession() *session {
+	if n := len(ar.sessFree); n > 0 {
+		s := ar.sessFree[n-1]
+		ar.sessFree[n-1] = nil
+		ar.sessFree = ar.sessFree[:n-1]
+		return s
+	}
+	return &session{}
+}
+
+// freeSession zeroes every per-handoff field (timers stay bound to the
+// session object and are reused by the next incarnation) and recycles s.
+func (ar *AccessRouter) freeSession(s *session) {
+	s.role = 0
+	s.pcoa, s.ncoa, s.peer = inet.Addr{}, inet.Addr{}, inet.Addr{}
+	s.targetAP = ""
+	s.avail = buffer.Availability{}
+	s.granted = 0
+	s.buf = nil
+	s.redirecting, s.narFull, s.fullSent, s.released = false, false, false, false
+	s.narGrant, s.sentToNAR = 0, 0
+	s.hiTries, s.bfTries = 0, 0
+	s.lastHI = nil
+	ar.sessFree = append(ar.sessFree, s)
 }
 
 // --- helpers ---

@@ -22,7 +22,7 @@ type arHarness struct {
 	pcoa     inet.Addr
 }
 
-func newARHarness(t *testing.T, cfg ARConfig) *arHarness {
+func newARHarness(t testing.TB, cfg ARConfig) *arHarness {
 	t.Helper()
 	engine := sim.NewEngine()
 	topo := netsim.NewTopology(engine)
@@ -81,7 +81,7 @@ func (h *arHarness) data(class inet.Class, seq uint32) *inet.Packet {
 	}
 }
 
-func (h *arHarness) run(t *testing.T, d sim.Time) {
+func (h *arHarness) run(t testing.TB, d sim.Time) {
 	t.Helper()
 	if err := h.engine.Run(h.engine.Now() + d); err != nil {
 		t.Fatalf("Run: %v", err)

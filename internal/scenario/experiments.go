@@ -137,6 +137,11 @@ func Experiments() []Experiment {
 			Title:     "Handoff resilience under injected control-plane loss",
 			RunSeeded: func(seed int64) Renderer { return RunLossSweep(LossSweepParams{Seed: seed}) },
 		},
+		{
+			ID:        "metro",
+			Title:     "Metro-scale mass handoff: shared buffer pools under thousands of hosts",
+			RunSeeded: func(seed int64) Renderer { return RunMetro(MetroParams{Seed: seed}) },
+		},
 	}
 	for i := range exps {
 		runSeeded := exps[i].RunSeeded

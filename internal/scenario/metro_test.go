@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// smallMetro keeps the sweep cheap: one cell, enough hosts and a tight
+// enough stagger window to oversubscribe both variants' pools.
+func smallMetro() MetroParams {
+	return MetroParams{
+		Hosts:         []int{40},
+		PoolSize:      48,
+		BufferRequest: 12,
+		StaggerWindow: 6 * sim.Second, // ≈13 overlapping handoffs versus capacity 4 (NAR-only) / 8 (dual)
+	}
+}
+
+// TestMetroDualDoublesCapacity pins the headline claim: at equal total
+// pool space and equal per-handoff demand, splitting the demand across
+// PAR and NAR sustains about twice the simultaneous handoffs.
+func TestMetroDualDoublesCapacity(t *testing.T) {
+	res := RunMetro(smallMetro())
+	if len(res.Variants) != 2 {
+		t.Fatalf("got %d variants, want 2", len(res.Variants))
+	}
+	for _, v := range res.Variants {
+		c := v.Cells[0]
+		if c.Handoffs < 35 {
+			t.Errorf("%s: only %d/40 handoffs completed", v.Slug, c.Handoffs)
+		}
+		if c.SessionsLeft != 0 {
+			t.Errorf("%s: %d sessions leaked", v.Slug, c.SessionsLeft)
+		}
+		if c.Refusals == 0 {
+			t.Errorf("%s: pool never exhausted — the cell is not oversubscribed", v.Slug)
+		}
+		// Saturated pools must peak at their session capacity.
+		capacity := res.Params.PoolSize / v.Request
+		if c.PeakNAR != capacity {
+			t.Errorf("%s: peak NAR sessions %d, want pool capacity %d", v.Slug, c.PeakNAR, capacity)
+		}
+	}
+	if ratio := res.CapacityRatio(); ratio < 1.8 {
+		t.Fatalf("capacity ratio %.2f, want ≈2 (dual should double concurrent handoffs)", ratio)
+	}
+}
+
+// TestMetroDeterminism re-runs the sweep and requires identical results.
+func TestMetroDeterminism(t *testing.T) {
+	a := RunMetro(smallMetro())
+	b := RunMetro(smallMetro())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("metro sweep is not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestMetroRenderAndCSV sanity-checks the two output formats.
+func TestMetroRenderAndCSV(t *testing.T) {
+	res := RunMetro(smallMetro())
+	out := res.Render()
+	for _, want := range []string{"NAR only", "dual buffering", "capacity ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+2 { // header + one cell per variant
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "variant,hosts,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+// BenchmarkMetroCell measures one small oversubscribed metro cell end to
+// end — 40 hosts handing off against both variants' pools.
+func BenchmarkMetroCell(b *testing.B) {
+	p := smallMetro()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunMetro(p)
+	}
+}
+
+// TestMetroSpecMetrics runs the runner-spec adapter once and checks the
+// metric keys the JSON artifact schema promises.
+func TestMetroSpecMetrics(t *testing.T) {
+	spec := MetroSpec(smallMetro())
+	if spec.Name() != "metro" {
+		t.Fatalf("spec name = %q", spec.Name())
+	}
+	m, err := spec.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"capacity_ratio",
+		"peak_nar_nar_n40", "peak_nar_dual_n40",
+		"refusal_rate_nar_n40", "refusal_rate_dual_n40",
+		"lost_rt_nar_n40", "lost_hp_dual_n40", "lost_be_dual_n40",
+		"handoffs_dual_n40", "sessions_left_nar_n40",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metric %q missing (have %d metrics)", key, len(m))
+		}
+	}
+	if m["capacity_ratio"] < 1.8 {
+		t.Errorf("capacity_ratio metric %.2f, want ≈2", m["capacity_ratio"])
+	}
+	if m["sessions_left_nar_n40"] != 0 || m["sessions_left_dual_n40"] != 0 {
+		t.Errorf("sessions leaked: nar=%v dual=%v",
+			m["sessions_left_nar_n40"], m["sessions_left_dual_n40"])
+	}
+}

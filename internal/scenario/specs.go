@@ -65,6 +65,7 @@ func Specs() []runner.Spec {
 		BaselineSpec(),
 		LatencySpec(10),
 		LossSweepSpec(),
+		MetroSpec(MetroParams{}),
 	}
 }
 
