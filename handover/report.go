@@ -3,8 +3,8 @@ package handover
 import (
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/scenario"
+	"repro/internal/stats"
 )
 
 // FlowReport summarizes one flow at the end of a run.
@@ -104,11 +104,9 @@ func (s *Simulation) Report() Report {
 			})
 		}
 	}
-	for _, where := range []string{
-		core.DropAtPAR, core.DropAtNAR, core.DropPolicy, core.DropOnLifetime, "air",
-	} {
-		if n := s.tb.Recorder.DropsAt(where); n > 0 {
-			rep.DropsByLocation[where] = n
+	for site, n := range s.tb.Recorder.SiteDrops() {
+		if n > 0 {
+			rep.DropsByLocation[stats.DropSite(site).String()] = n
 		}
 	}
 	return rep

@@ -44,8 +44,8 @@ func (s *Simulation) TraceEvents() []TraceEvent {
 		out = append(out, TraceEvent{
 			At:     time.Duration(ev.At),
 			Kind:   ev.Kind.String(),
-			Node:   ev.Node,
-			Detail: ev.Detail,
+			Node:   ev.NodeName(),
+			Detail: ev.DetailText(),
 			Seq:    ev.Seq,
 		})
 	}

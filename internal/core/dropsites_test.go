@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestDropSiteStringsMatchCanonicalSites pins the drop-location strings the
+// routers pass to OnDrop to the stats package's preregistered sites. The
+// two packages cannot share constants (stats must not import core), so this
+// cross-check is what keeps the interner's fast path — and the report's
+// site enumeration — aligned with the strings actually emitted.
+func TestDropSiteStringsMatchCanonicalSites(t *testing.T) {
+	pins := []struct {
+		where string
+		site  stats.DropSite
+	}{
+		{DropAtPAR, stats.SitePARBuffer},
+		{DropAtNAR, stats.SiteNARBuffer},
+		{DropPolicy, stats.SitePARPolicy},
+		{DropOnLifetime, stats.SiteLifetime},
+		{"air", stats.SiteAir},
+		{"link-queue", stats.SiteLinkQueue},
+	}
+	for _, pin := range pins {
+		got, ok := stats.LookupSite(pin.where)
+		if !ok {
+			t.Errorf("drop site %q is not preregistered in stats", pin.where)
+			continue
+		}
+		if got != pin.site {
+			t.Errorf("drop site %q interned as %d, want %d", pin.where, got, pin.site)
+		}
+		if pin.site.String() != pin.where {
+			t.Errorf("site %d renders %q, want %q", pin.site, pin.site.String(), pin.where)
+		}
+	}
+}

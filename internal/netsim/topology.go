@@ -105,6 +105,21 @@ func (t *Topology) Connect(a, b Node, cfg LinkConfig) *Link {
 // Links returns all links in creation order.
 func (t *Topology) Links() []*Link { return t.links }
 
+// HookDrops installs fn as the tail-drop observer on both interfaces of
+// every link created so far, chaining after any hook already installed.
+// Call it once all links are connected.
+func (t *Topology) HookDrops(fn func(pkt *inet.Packet)) {
+	for _, l := range t.links {
+		for _, ifc := range [...]*Iface{l.A(), l.B()} {
+			if prev := ifc.DropHook; prev != nil {
+				ifc.DropHook = func(pkt *inet.Packet) { prev(pkt); fn(pkt) }
+			} else {
+				ifc.DropHook = fn
+			}
+		}
+	}
+}
+
 // ClaimNet declares that the given node terminates a network: shortest-path
 // routes for the network's prefix lead to that node.
 func (t *Topology) ClaimNet(n inet.NetID, owner Node) {

@@ -85,13 +85,7 @@ func runBaselineOnce(name string, p Params) BaselineRow {
 	f := tb.Recorder.Flow(unit.Flows[0])
 	row := BaselineRow{Name: name, Lost: f.Lost()}
 	// The outage is the longest gap between consecutive deliveries.
-	var prev sim.Time
-	for i, s := range f.Delays {
-		if i > 0 && s.At-prev > row.Outage {
-			row.Outage = s.At - prev
-		}
-		prev = s.At
-	}
+	row.Outage = f.DeliveryGap(0, sim.MaxTime)
 	return row
 }
 

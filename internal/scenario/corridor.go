@@ -145,7 +145,7 @@ func NewCorridor(p CorridorParams, flow FlowSpec) *Corridor {
 		c.ARs = append(c.ARs, ar)
 		c.APs[i].AirDropHook = func(pkt *inet.Packet) {
 			if pkt.Innermost().Proto != inet.ProtoControl {
-				recorder.Dropped(pkt, DropOnAir)
+				recorder.DroppedSite(pkt, stats.SiteAir)
 			}
 		}
 		c.APs[i].StartAdvertising(wireless.Advertisement{Router: r.Addr(), Net: corridorNetBase + inet.NetID(i)},

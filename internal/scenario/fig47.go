@@ -101,11 +101,7 @@ func RunDelayTrace(p DelayTraceParams) DelayTraceResult {
 	for k, id := range unit.Flows {
 		f := tb.Recorder.Flow(id)
 		res.Lost[k] = f.Lost()
-		for _, s := range f.Delays {
-			if s.At >= lo && s.At <= hi {
-				res.Samples[k] = append(res.Samples[k], s)
-			}
-		}
+		res.Samples[k] = append(res.Samples[k], f.DelaysIn(lo, hi)...)
 	}
 	return res
 }

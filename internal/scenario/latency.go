@@ -75,16 +75,7 @@ func runLatencyBreakdownEngine(handoffs int, seed int64, engine *sim.Engine) Lat
 	// Interruption: longest delivery gap within each handoff's window.
 	f := tb.Recorder.Flow(unit.Flows[0])
 	for _, rec := range recs {
-		var gap, prev sim.Time
-		for _, s := range f.Delays {
-			if s.At < rec.Triggered-sim.Second || s.At > rec.Attached+2*sim.Second {
-				continue
-			}
-			if prev != 0 && s.At-prev > gap {
-				gap = s.At - prev
-			}
-			prev = s.At
-		}
+		gap := f.DeliveryGap(rec.Triggered-sim.Second, rec.Attached+2*sim.Second)
 		out.Interruption.Add(gap.Milliseconds())
 	}
 	return out

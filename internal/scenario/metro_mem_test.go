@@ -1,0 +1,30 @@
+package scenario
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestMetroMemoryProbe reports the process peak RSS and cumulative heap
+// allocation of one metro cell at the sweep's largest point. Run it alone
+// in a fresh process with METRO_MEM=1 to compare telemetry modes:
+//
+//	METRO_MEM=1 go test -run TestMetroMemoryProbe -v ./internal/scenario/
+func TestMetroMemoryProbe(t *testing.T) {
+	if os.Getenv("METRO_MEM") == "" {
+		t.Skip("set METRO_MEM=1 to run the memory probe")
+	}
+	cell := runMetroCell(MetroParams{PoolSize: 600, Seed: 1}, core.SchemeEnhanced, 8, 2000)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		t.Fatalf("getrusage: %v", err)
+	}
+	t.Logf("hosts=2000 handoffs=%d grants=%d", cell.Hosts, cell.Handoffs)
+	t.Logf("peak RSS %d KB, cumulative heap alloc %d KB", ru.Maxrss, ms.TotalAlloc/1024)
+}

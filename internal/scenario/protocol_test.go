@@ -497,7 +497,7 @@ func TestAttachTraceRecordsTheProtocol(t *testing.T) {
 	// The control-message sequence of Figure 3.2 appears in order.
 	var kinds []string
 	for _, ev := range log.Filter(trace.KindControl) {
-		kinds = append(kinds, ev.Detail)
+		kinds = append(kinds, ev.DetailText())
 	}
 	want := []string{
 		"sends RtSolPr", "sends HI", "sends HAck", "sends PrRtAdv",

@@ -79,6 +79,11 @@ type Params struct {
 	ControlLossRate float64
 	// Seed drives beacon phases and the fault injector.
 	Seed int64
+	// StatsMode selects how the recorder summarizes delays: ModeExact
+	// (default) retains every sample for exact percentiles and delivery
+	// traces; ModeStreaming folds each delay into O(1) digests, keeping
+	// memory O(flows) instead of O(packets) for metro-scale runs.
+	StatsMode stats.Mode
 	// Engine, when set, is reused for this testbed instead of creating a
 	// fresh one. NewTestbed resets it first, so a worker can run many
 	// replicas on one engine and keep its warmed-up event free list and
@@ -237,7 +242,7 @@ func NewTestbed(p Params) *Testbed {
 	}
 
 	dir := core.NewDirectory()
-	recorder := stats.NewRecorder()
+	recorder := stats.NewRecorderMode(p.StatsMode)
 	arCfg := core.ARConfig{
 		Scheme:            p.Scheme,
 		PoolSize:          p.PoolSize,
@@ -274,12 +279,22 @@ func NewTestbed(p Params) *Testbed {
 	}
 	dataAirDrop := func(pkt *inet.Packet) {
 		if pkt.Innermost().Proto != inet.ProtoControl {
-			recorder.Dropped(pkt, DropOnAir)
+			recorder.DroppedSite(pkt, stats.SiteAir)
 		}
 		releaseUDPChain(pkt)
 	}
 	apPAR.AirDropHook = dataAirDrop
 	apNAR.AirDropHook = dataAirDrop
+
+	// Wired tail drops: charge them to the recorder's link-queue site and
+	// recycle the packets, which previously leaked to the garbage
+	// collector. The reference topology is provisioned so these are rare.
+	topo.HookDrops(func(pkt *inet.Packet) {
+		if pkt.Innermost().Proto != inet.ProtoControl {
+			recorder.DroppedSite(pkt, stats.SiteLinkQueue)
+		}
+		releaseUDPChain(pkt)
+	})
 
 	// Staggered beacons: the PAR's AP on one phase, the NAR's on another.
 	apPAR.StartAdvertising(wireless.Advertisement{Router: parRouter.Addr(), Net: NetPAR},

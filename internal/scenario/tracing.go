@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fho"
 	"repro/internal/inet"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -14,8 +15,14 @@ import (
 // site), deliveries, link transitions, and handoff completions. Existing
 // hooks (the statistics recorder) keep working; the trace chains onto
 // them.
+//
+// Events are emitted in typed form — node names interned once here, packet
+// fields packed into integer arguments — so a hook firing costs no string
+// formatting; the text is produced lazily when the log is rendered or
+// exported, byte-identical to the former eager strings.
 func (tb *Testbed) AttachTrace(log *trace.Log) {
 	hookAR := func(name string, ar *core.AccessRouter) {
+		node := trace.InternNode(name)
 		prevDrop := ar.OnDrop
 		ar.OnDrop = func(pkt *inet.Packet, where string) {
 			if prevDrop != nil {
@@ -23,9 +30,11 @@ func (tb *Testbed) AttachTrace(log *trace.Log) {
 			}
 			inner := pkt.Innermost()
 			log.Emit(trace.Event{
-				At: tb.Engine.Now(), Kind: trace.KindDrop, Node: name,
-				Seq:    int64(inner.Seq),
-				Detail: fmt.Sprintf("%s flow=%d class=%s (%s)", inner.Proto, inner.Flow, inner.Class, where),
+				At: tb.Engine.Now(), Kind: trace.KindDrop, NodeID: node,
+				Seq:  int64(inner.Seq),
+				Code: trace.CodeDropPacket,
+				Arg0: int64(inner.Flow),
+				Arg1: trace.PackPacket(inner.Proto, inner.Class, stats.InternSite(where)),
 			})
 		}
 		prevCtl := ar.OnControl
@@ -34,8 +43,8 @@ func (tb *Testbed) AttachTrace(log *trace.Log) {
 				prevCtl(kind)
 			}
 			log.Emit(trace.Event{
-				At: tb.Engine.Now(), Kind: trace.KindControl, Node: name,
-				Detail: "sends " + kind.String(),
+				At: tb.Engine.Now(), Kind: trace.KindControl, NodeID: node,
+				Code: trace.CodeSendsControl, Arg0: int64(kind),
 			})
 		}
 	}
@@ -43,7 +52,7 @@ func (tb *Testbed) AttachTrace(log *trace.Log) {
 	hookAR("nar", tb.NAR)
 
 	for i, unit := range tb.MHs {
-		name := fmt.Sprintf("mh%d", i)
+		node := trace.InternNode(fmt.Sprintf("mh%d", i))
 		unit := unit
 		prevCtl := unit.MH.OnControl
 		unit.MH.OnControl = func(kind fho.Kind) {
@@ -51,8 +60,8 @@ func (tb *Testbed) AttachTrace(log *trace.Log) {
 				prevCtl(kind)
 			}
 			log.Emit(trace.Event{
-				At: tb.Engine.Now(), Kind: trace.KindControl, Node: name,
-				Detail: "sends " + kind.String(),
+				At: tb.Engine.Now(), Kind: trace.KindControl, NodeID: node,
+				Code: trace.CodeSendsControl, Arg0: int64(kind),
 			})
 		}
 		prevDone := unit.MH.OnHandoffDone
@@ -61,17 +70,17 @@ func (tb *Testbed) AttachTrace(log *trace.Log) {
 				prevDone(rec)
 			}
 			log.Emit(trace.Event{
-				At: rec.Detached, Kind: trace.KindLinkDown, Node: name,
-				Detail: "L2 blackout begins",
+				At: rec.Detached, Kind: trace.KindLinkDown, NodeID: node,
+				Code: trace.CodeBlackoutBegins,
 			})
 			log.Emit(trace.Event{
-				At: rec.Attached, Kind: trace.KindLinkUp, Node: name,
-				Detail: "attached to the new access point",
+				At: rec.Attached, Kind: trace.KindLinkUp, NodeID: node,
+				Code: trace.CodeAttachedNewAP,
 			})
 			log.Emit(trace.Event{
-				At: tb.Engine.Now(), Kind: trace.KindHandoff, Node: name,
-				Detail: fmt.Sprintf("complete (anticipated=%t link-layer=%t nar=%t par=%t)",
-					rec.Anticipated, rec.LinkLayerOnly, rec.NARGranted, rec.PARGranted),
+				At: tb.Engine.Now(), Kind: trace.KindHandoff, NodeID: node,
+				Code: trace.CodeHandoffDone,
+				Arg0: trace.PackHandoff(rec.Anticipated, rec.LinkLayerOnly, rec.NARGranted, rec.PARGranted),
 			})
 		}
 		prevDeliver := unit.MH.OnDeliver
@@ -80,9 +89,11 @@ func (tb *Testbed) AttachTrace(log *trace.Log) {
 				prevDeliver(pkt)
 			}
 			log.Emit(trace.Event{
-				At: tb.Engine.Now(), Kind: trace.KindDeliver, Node: name,
-				Seq:    int64(pkt.Seq),
-				Detail: fmt.Sprintf("%s flow=%d class=%s", pkt.Proto, pkt.Flow, pkt.Class),
+				At: tb.Engine.Now(), Kind: trace.KindDeliver, NodeID: node,
+				Seq:  int64(pkt.Seq),
+				Code: trace.CodeDeliverPacket,
+				Arg0: int64(pkt.Flow),
+				Arg1: trace.PackPacket(pkt.Proto, pkt.Class, 0),
 			})
 		}
 	}

@@ -144,7 +144,7 @@ func NewWLANTestbed(p WLANParams) *WLANTestbed {
 	ar.OnDrop = func(pkt *inet.Packet, where string) { recorder.Dropped(pkt, where) }
 	dataAirDrop := func(pkt *inet.Packet) {
 		if pkt.Innermost().Proto != inet.ProtoControl {
-			recorder.Dropped(pkt, DropOnAir)
+			recorder.DroppedSite(pkt, stats.SiteAir)
 		}
 	}
 	ap1.AirDropHook = dataAirDrop

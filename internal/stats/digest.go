@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// P2Quantile estimates one quantile of a stream without retaining samples,
+// using the P² algorithm of Jain & Chlamtac (CACM 1985): five markers
+// track the minimum, the target quantile, the two quantiles halfway to the
+// extremes, and the maximum; marker heights are adjusted with a piecewise
+// parabolic fit as observations arrive. Memory is O(1) per quantile.
+type P2Quantile struct {
+	p     float64
+	count int
+	q     [5]float64 // marker heights
+	n     [5]float64 // actual marker positions
+	np    [5]float64 // desired marker positions
+	dn    [5]float64 // desired position increments
+}
+
+// NewP2Quantile returns an estimator for the quantile p in (0, 1).
+func NewP2Quantile(p float64) P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2 quantile must be in (0, 1)")
+	}
+	return P2Quantile{p: p}
+}
+
+// Quantile returns the target quantile in (0, 1).
+func (e *P2Quantile) Quantile() float64 { return e.p }
+
+// Count returns how many observations have been added.
+func (e *P2Quantile) Count() int { return e.count }
+
+// Add feeds one observation.
+func (e *P2Quantile) Add(x float64) {
+	if e.count < 5 {
+		// Insertion sort the first five observations into the markers.
+		i := e.count
+		for i > 0 && e.q[i-1] > x {
+			e.q[i] = e.q[i-1]
+			i--
+		}
+		e.q[i] = x
+		e.count++
+		if e.count == 5 {
+			e.n = [5]float64{1, 2, 3, 4, 5}
+			e.np = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+			e.dn = [5]float64{0, e.p / 2, e.p, (1 + e.p) / 2, 1}
+		}
+		return
+	}
+	e.count++
+
+	// Find the cell containing x, extending the extremes if needed.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := range e.np {
+		e.np[i] += e.dn[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			qp := e.parabolic(i, sign)
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.n[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for marker i
+// moved by d (±1).
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola overshoots a
+// neighbouring marker.
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+// Value returns the current estimate (exact for fewer than five
+// observations, zero when empty).
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		// Markers hold the sorted prefix: nearest-rank on it is exact.
+		rank := int(math.Ceil(e.p * float64(e.count)))
+		if rank < 1 {
+			rank = 1
+		}
+		return e.q[rank-1]
+	}
+	return e.q[2]
+}
+
+// digestBins is the fixed histogram resolution: one bin per power of two
+// of nanoseconds, covering the whole sim.Time range.
+const digestBins = 64
+
+// DigestPercentiles are the percentiles the streaming digest tracks with
+// P² estimators; other percentiles fall back to the power-of-two
+// histogram's coarser nearest-rank answer.
+var DigestPercentiles = [4]float64{50, 90, 95, 99}
+
+// DelayDigest summarizes a delay stream in O(1) space: P² estimators for
+// the canonical percentiles plus a fixed power-of-two histogram for
+// arbitrary percentile queries. It retains no samples, so streaming-mode
+// recorders hold O(flows) state instead of O(packets).
+type DelayDigest struct {
+	count uint64
+	est   [len(DigestPercentiles)]P2Quantile
+	bins  [digestBins]uint64
+}
+
+// NewDelayDigest returns an empty digest.
+func NewDelayDigest() *DelayDigest {
+	d := &DelayDigest{}
+	for i, p := range DigestPercentiles {
+		d.est[i] = NewP2Quantile(p / 100)
+	}
+	return d
+}
+
+// binOf maps a delay to its power-of-two histogram bin.
+func binOf(delay sim.Time) int {
+	if delay <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(delay)) - 1
+}
+
+// Add feeds one delay observation.
+func (d *DelayDigest) Add(delay sim.Time) {
+	d.count++
+	x := float64(delay)
+	for i := range d.est {
+		d.est[i].Add(x)
+	}
+	d.bins[binOf(delay)]++
+}
+
+// Count returns how many delays have been added.
+func (d *DelayDigest) Count() uint64 { return d.count }
+
+// Percentile estimates the p-th percentile (0 < p ≤ 100). Canonical
+// percentiles (DigestPercentiles) answer from the P² estimators; others
+// from the histogram, with power-of-two resolution.
+func (d *DelayDigest) Percentile(p float64) sim.Time {
+	if d.count == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	for i, cp := range DigestPercentiles {
+		if p == cp {
+			v := d.est[i].Value()
+			if v < 0 {
+				return 0
+			}
+			return sim.Time(math.Round(v))
+		}
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(d.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for b, n := range d.bins {
+		cum += n
+		if cum >= rank {
+			if b == 0 {
+				return 1
+			}
+			// Upper bound of the bin: all delays in it are ≤ 2^(b+1)-1.
+			if b >= 62 {
+				return sim.MaxTime
+			}
+			return sim.Time(uint64(1)<<uint(b+1) - 1)
+		}
+	}
+	return sim.MaxTime
+}
+
+// sortedPercentile is the exact nearest-rank percentile over a sorted
+// slice, shared by the exact recorder path and the differential tests.
+func sortedPercentile(sorted []sim.Time, p float64) sim.Time {
+	n := len(sorted)
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// sortTimes sorts delays ascending in place.
+func sortTimes(ts []sim.Time) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}

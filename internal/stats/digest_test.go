@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+func TestP2QuantileSmallStreamsExact(t *testing.T) {
+	// Under five observations the markers hold the sorted prefix, so the
+	// estimate must equal the exact nearest-rank percentile.
+	e := NewP2Quantile(0.5)
+	if e.Value() != 0 {
+		t.Fatal("empty estimator not zero")
+	}
+	for i, x := range []float64{30, 10, 20} {
+		e.Add(x)
+		_ = i
+	}
+	if got := e.Value(); got != 20 {
+		t.Fatalf("median of {10,20,30} = %v, want 20", got)
+	}
+	if e.Count() != 3 {
+		t.Fatalf("Count = %d", e.Count())
+	}
+}
+
+func TestP2QuantilePanicsOnBadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for p=%v", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestP2QuantileUniformAccuracy(t *testing.T) {
+	// On 10k uniform samples the P² estimate of canonical quantiles must
+	// land within 2% of the true value.
+	rng := rand.New(rand.NewSource(7))
+	quantiles := []float64{0.5, 0.9, 0.95, 0.99}
+	ests := make([]P2Quantile, len(quantiles))
+	for i, q := range quantiles {
+		ests[i] = NewP2Quantile(q)
+	}
+	for i := 0; i < 10_000; i++ {
+		x := rng.Float64() * 1000
+		for j := range ests {
+			ests[j].Add(x)
+		}
+	}
+	for i, q := range quantiles {
+		want := q * 1000
+		got := ests[i].Value()
+		if math.Abs(got-want) > 20 {
+			t.Errorf("p=%v: estimate %v, want ~%v", q, got, want)
+		}
+	}
+}
+
+// Property: the P² estimate always lies within the observed min/max.
+func TestPropertyP2Bounded(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewP2Quantile(0.9)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := float64(r)
+			e.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		v := e.Value()
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayDigestEmptyAndClamp(t *testing.T) {
+	d := NewDelayDigest()
+	if d.Percentile(99) != 0 || d.Percentile(0) != 0 {
+		t.Fatal("empty digest percentile not zero")
+	}
+	d.Add(10 * sim.Millisecond)
+	if d.Count() != 1 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	if d.Percentile(150) != d.Percentile(100) {
+		t.Fatal("percentile above 100 not clamped")
+	}
+}
+
+func TestDelayDigestHistogramFallback(t *testing.T) {
+	// Non-canonical percentiles come from the power-of-two histogram:
+	// the answer must be an upper bound of the right bin.
+	d := NewDelayDigest()
+	for i := 0; i < 100; i++ {
+		d.Add(sim.Time(1000)) // all in bin 9 (512..1023)
+	}
+	got := d.Percentile(42)
+	if got < 1000 || got > 1023 {
+		t.Fatalf("histogram percentile = %v, want within [1000, 1023]", got)
+	}
+}
+
+// TestStreamingDifferential replays one seeded operation stream through an
+// exact-mode and a streaming-mode recorder: every counter must agree
+// exactly, and the streaming percentile estimates must stay within a
+// tolerance band of the exact nearest-rank values.
+func TestStreamingDifferential(t *testing.T) {
+	exact := NewRecorder()
+	stream := NewRecorderMode(ModeStreaming)
+	rng := rand.New(rand.NewSource(42))
+
+	sites := []string{"par-buffer", "nar-buffer", "par-policy", "lifetime", "air"}
+	now := sim.Time(0)
+	for i := 0; i < 20_000; i++ {
+		now += sim.Time(rng.Intn(1000) + 1)
+		flow := inet.FlowID(rng.Intn(8) + 1)
+		p := &inet.Packet{
+			Flow: flow, Proto: inet.ProtoUDP, Size: 160,
+			Class:   inet.Classes[int(flow)%3],
+			Seq:     uint32(i),
+			Created: now,
+		}
+		exact.Sent(p)
+		stream.Sent(p)
+		switch rng.Intn(10) {
+		case 0: // lost somewhere
+			site := sites[rng.Intn(len(sites))]
+			exact.Dropped(p, site)
+			stream.Dropped(p, site)
+		default:
+			at := now + sim.Time(rng.Intn(200_000)+20)
+			exact.Delivered(p, at)
+			stream.Delivered(p, at)
+		}
+	}
+
+	if exact.TotalSent() != stream.TotalSent() ||
+		exact.TotalDelivered() != stream.TotalDelivered() ||
+		exact.TotalLost() != stream.TotalLost() {
+		t.Fatal("totals diverge between modes")
+	}
+	for site, n := range exact.SiteDrops() {
+		if stream.SiteDrops()[site] != n {
+			t.Fatalf("site %s drop counts diverge", DropSite(site))
+		}
+	}
+	ef, sf := exact.Flows(), stream.Flows()
+	if len(ef) != len(sf) {
+		t.Fatalf("flow counts diverge: %d vs %d", len(ef), len(sf))
+	}
+	for i := range ef {
+		e, s := ef[i], sf[i]
+		if e.Flow != s.Flow || e.Sent != s.Sent || e.Delivered != s.Delivered {
+			t.Fatalf("flow %d counters diverge", e.Flow)
+		}
+		if e.DelayCount() != s.DelayCount() {
+			t.Fatalf("flow %d delay counts diverge", e.Flow)
+		}
+		// Running aggregates share the same arithmetic: exact equality.
+		if e.MaxDelay() != s.MaxDelay() || e.MeanDelay() != s.MeanDelay() || e.Jitter() != s.Jitter() {
+			t.Fatalf("flow %d aggregate delays diverge", e.Flow)
+		}
+		if len(s.Delays) != 0 {
+			t.Fatalf("streaming flow %d retained %d samples", s.Flow, len(s.Delays))
+		}
+		// P² estimates of the canonical percentiles stay within 5% of the
+		// exact nearest-rank answer on this smooth delay distribution.
+		for _, p := range DigestPercentiles {
+			ev, sv := float64(e.DelayPercentile(p)), float64(s.DelayPercentile(p))
+			if ev == 0 {
+				continue
+			}
+			if math.Abs(sv-ev)/ev > 0.05 {
+				t.Errorf("flow %d p%v: streaming %v vs exact %v", e.Flow, p, sv, ev)
+			}
+		}
+	}
+}
+
+func TestInternSiteIdempotent(t *testing.T) {
+	a := InternSite("par-buffer")
+	b := InternSite("par-buffer")
+	if a != b || a != SitePARBuffer {
+		t.Fatalf("interning not idempotent: %v %v", a, b)
+	}
+	if a.String() != "par-buffer" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if _, ok := LookupSite("par-buffer"); !ok {
+		t.Fatal("LookupSite missed a registered site")
+	}
+	if _, ok := LookupSite("never-registered-site"); ok {
+		t.Fatal("LookupSite invented a site")
+	}
+}
+
+func TestCanonicalSiteOrder(t *testing.T) {
+	// The report enumerates drop counters by site index; the canonical
+	// sites must keep their registration order.
+	want := []DropSite{SitePARBuffer, SiteNARBuffer, SitePARPolicy, SiteLifetime, SiteAir, SiteLinkQueue}
+	names := []string{"par-buffer", "nar-buffer", "par-policy", "lifetime", "air", "link-queue"}
+	for i, site := range want {
+		if InternSite(names[i]) != site {
+			t.Fatalf("site %q interned out of order", names[i])
+		}
+		if site.String() != names[i] {
+			t.Fatalf("site %d renders %q, want %q", site, site.String(), names[i])
+		}
+	}
+}
+
+// FuzzInternSite checks the interner is collision-free and idempotent for
+// arbitrary names: same name → same ID, different names → different IDs,
+// and String round-trips.
+func FuzzInternSite(f *testing.F) {
+	f.Add("par-buffer")
+	f.Add("")
+	f.Add("a")
+	f.Add("link-queue")
+	f.Add("site-with-✓-unicode")
+	f.Fuzz(func(t *testing.T, name string) {
+		id := InternSite(name)
+		if again := InternSite(name); again != id {
+			t.Fatalf("InternSite(%q) not idempotent: %v then %v", name, id, again)
+		}
+		if got := id.String(); got != name {
+			t.Fatalf("String round-trip: %q -> %v -> %q", name, id, got)
+		}
+		if other := InternSite(name + "\x00x"); other == id {
+			t.Fatalf("collision: %q and %q share ID %v", name, name+"\x00x", id)
+		}
+	})
+}

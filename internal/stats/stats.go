@@ -2,6 +2,16 @@
 // from: per-flow send/deliver/drop counts, per-packet end-to-end delay
 // samples, and bucketed time series (throughput).
 //
+// The recording hot path is O(1) and allocation-free in steady state:
+// flows live in a dense table indexed by a small interned flow index, and
+// drops are counted in arrays indexed by interned DropSite instead of
+// string-keyed maps. Two modes govern the delay state: ModeExact (the
+// default) retains every DelaySample, exactly as the figures require;
+// ModeStreaming replaces the retained samples with O(1) running aggregates
+// plus a streaming DelayDigest (P² percentile estimators and a fixed
+// power-of-two histogram), so metro-scale runs hold O(flows) rather than
+// O(packets) delay state.
+//
 // All collectors run on the single simulation goroutine; none are safe for
 // concurrent use.
 package stats
@@ -12,6 +22,19 @@ import (
 
 	"repro/internal/inet"
 	"repro/internal/sim"
+)
+
+// Mode selects how a Recorder retains per-flow delay state.
+type Mode uint8
+
+const (
+	// ModeExact retains every delivered packet's DelaySample. All delay
+	// queries are exact; memory grows O(packets).
+	ModeExact Mode = iota
+	// ModeStreaming retains only running aggregates and a DelayDigest per
+	// flow. Max/mean/jitter stay exact (they are running computations
+	// either way); percentiles are estimates. Memory stays O(flows).
+	ModeStreaming
 )
 
 // DelaySample is one delivered packet's end-to-end latency.
@@ -31,19 +54,63 @@ type FlowStats struct {
 
 	Sent      uint64
 	Delivered uint64
-	// Dropped counts packets reported lost by location.
-	Dropped map[string]uint64
 
+	// Delays retains every delivery sample in ModeExact, in delivery (and
+	// therefore At) order; it stays empty in ModeStreaming.
 	Delays []DelaySample
+
+	// drops counts packets reported lost, indexed by DropSite.
+	drops []uint64
+
+	// Running delay aggregates, maintained on every Delivered in both
+	// modes so max/mean/jitter are O(1) queries at any scale.
+	delayCount uint64
+	delaySum   sim.Time
+	delayMax   sim.Time
+	lastDelay  sim.Time
+	jitterSum  sim.Time
+
+	// digest summarizes delays in ModeStreaming; nil in ModeExact.
+	digest *DelayDigest
+
+	// sortedDelays caches the ascending delays for percentile queries;
+	// rebuilt only when Delays has grown since the last query.
+	sortedDelays []sim.Time
 }
 
 // DroppedTotal sums drops across locations.
 func (f *FlowStats) DroppedTotal() uint64 {
 	var total uint64
-	for _, n := range f.Dropped {
+	for _, n := range f.drops {
 		total += n
 	}
 	return total
+}
+
+// DroppedAt returns the drops recorded at a location label.
+func (f *FlowStats) DroppedAt(where string) uint64 {
+	site, ok := LookupSite(where)
+	if !ok {
+		return 0
+	}
+	return f.DroppedAtSite(site)
+}
+
+// DroppedAtSite returns the drops recorded at an interned site.
+func (f *FlowStats) DroppedAtSite(site DropSite) uint64 {
+	if int(site) < len(f.drops) {
+		return f.drops[site]
+	}
+	return 0
+}
+
+// addDrop charges one drop to a site, growing the counter array on first
+// use of a new site (steady state: a single array increment).
+func (f *FlowStats) addDrop(site DropSite) {
+	for int(site) >= len(f.drops) {
+		f.drops = append(f.drops, 0)
+	}
+	f.drops[site]++
 }
 
 // Lost returns sent minus delivered: every packet unaccounted for at the
@@ -55,8 +122,37 @@ func (f *FlowStats) Lost() uint64 {
 	return f.Sent - f.Delivered
 }
 
+// DelayCount returns how many delay observations the flow has, in either
+// mode (including manually appended Delays).
+func (f *FlowStats) DelayCount() uint64 {
+	if f.delayCount > 0 {
+		return f.delayCount
+	}
+	return uint64(len(f.Delays))
+}
+
+// observeDelay maintains the running aggregates.
+func (f *FlowStats) observeDelay(d sim.Time) {
+	f.delayCount++
+	f.delaySum += d
+	if d > f.delayMax {
+		f.delayMax = d
+	}
+	if f.delayCount > 1 {
+		diff := d - f.lastDelay
+		if diff < 0 {
+			diff = -diff
+		}
+		f.jitterSum += diff
+	}
+	f.lastDelay = d
+}
+
 // MaxDelay returns the largest recorded delay (zero when empty).
 func (f *FlowStats) MaxDelay() sim.Time {
+	if f.delayCount > 0 {
+		return f.delayMax
+	}
 	var m sim.Time
 	for _, s := range f.Delays {
 		if s.Delay > m {
@@ -68,6 +164,9 @@ func (f *FlowStats) MaxDelay() sim.Time {
 
 // MeanDelay returns the average recorded delay (zero when empty).
 func (f *FlowStats) MeanDelay() sim.Time {
+	if f.delayCount > 0 {
+		return f.delaySum / sim.Time(f.delayCount)
+	}
 	if len(f.Delays) == 0 {
 		return 0
 	}
@@ -80,25 +179,69 @@ func (f *FlowStats) MeanDelay() sim.Time {
 
 // Recorder is the central measurement sink for one simulation run.
 type Recorder struct {
-	flows map[inet.FlowID]*FlowStats
-	// dropsByWhere aggregates across flows for quick totals.
-	dropsByWhere map[string]uint64
+	mode Mode
+	// flows is the dense flow table in first-seen order; dense maps small
+	// flow IDs straight to an index (dense[id] = index+1), and sparse
+	// catches IDs beyond the direct-index bound.
+	flows  []*FlowStats
+	dense  []int32
+	sparse map[inet.FlowID]int32
+	// siteCounts aggregates drops across flows, indexed by DropSite.
+	siteCounts []uint64
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder {
-	return &Recorder{
-		flows:        make(map[inet.FlowID]*FlowStats),
-		dropsByWhere: make(map[string]uint64),
-	}
+// denseLimit bounds the direct-index flow table. Scenario flow IDs are
+// small sequential integers (Topology.NewFlowID starts at 1), so in
+// practice every flow takes the one-array-load path.
+const denseLimit = 1 << 20
+
+// NewRecorder returns an empty recorder in ModeExact.
+func NewRecorder() *Recorder { return NewRecorderMode(ModeExact) }
+
+// NewRecorderMode returns an empty recorder in the given mode.
+func NewRecorderMode(mode Mode) *Recorder {
+	return &Recorder{mode: mode}
 }
+
+// Mode returns the recorder's delay-retention mode.
+func (r *Recorder) Mode() Mode { return r.mode }
 
 // flow returns (creating if needed) the stats bucket for a flow.
 func (r *Recorder) flow(id inet.FlowID) *FlowStats {
-	f, ok := r.flows[id]
-	if !ok {
-		f = &FlowStats{Flow: id, Dropped: make(map[string]uint64)}
-		r.flows[id] = f
+	if uint64(id) < uint64(len(r.dense)) {
+		if i := r.dense[id]; i != 0 {
+			return r.flows[i-1]
+		}
+	}
+	return r.flowSlow(id)
+}
+
+// flowSlow creates the bucket for a flow seen for the first time (or
+// looks it up through the sparse fallback).
+func (r *Recorder) flowSlow(id inet.FlowID) *FlowStats {
+	if id >= denseLimit {
+		if i, ok := r.sparse[id]; ok {
+			return r.flows[i-1]
+		}
+	}
+	f := &FlowStats{Flow: id}
+	if r.mode == ModeStreaming {
+		f.digest = NewDelayDigest()
+	}
+	r.flows = append(r.flows, f)
+	idx := int32(len(r.flows))
+	if id < denseLimit {
+		for uint64(id) >= uint64(len(r.dense)) {
+			grown := make([]int32, (len(r.dense)+1)*2)
+			copy(grown, r.dense)
+			r.dense = grown
+		}
+		r.dense[id] = idx
+	} else {
+		if r.sparse == nil {
+			r.sparse = make(map[inet.FlowID]int32)
+		}
+		r.sparse[id] = idx
 	}
 	return f
 }
@@ -122,34 +265,81 @@ func (r *Recorder) Sent(pkt *inet.Packet) {
 func (r *Recorder) Delivered(pkt *inet.Packet, at sim.Time) {
 	f := r.flow(pkt.Flow)
 	f.Delivered++
-	f.Delays = append(f.Delays, DelaySample{Seq: pkt.Seq, At: at, Delay: at - pkt.Created})
+	d := at - pkt.Created
+	f.observeDelay(d)
+	if f.digest != nil {
+		f.digest.Add(d)
+		return
+	}
+	f.Delays = append(f.Delays, DelaySample{Seq: pkt.Seq, At: at, Delay: d})
 }
 
 // Dropped records one lost packet with its drop location. Tunnel headers
-// are stripped so the innermost flow is charged.
+// are stripped so the innermost flow is charged; the aggregate site total
+// is charged even when the innermost flow is untracked (Flow 0, control
+// traffic).
 func (r *Recorder) Dropped(pkt *inet.Packet, where string) {
+	r.DroppedSite(pkt, InternSite(where))
+}
+
+// DroppedSite is the pre-interned fast path of Dropped.
+func (r *Recorder) DroppedSite(pkt *inet.Packet, site DropSite) {
 	inner := pkt.Innermost()
 	if inner.Flow != 0 {
-		r.flow(inner.Flow).Dropped[where]++
+		r.flow(inner.Flow).addDrop(site)
 	}
-	r.dropsByWhere[where]++
+	for int(site) >= len(r.siteCounts) {
+		r.siteCounts = append(r.siteCounts, 0)
+	}
+	r.siteCounts[site]++
 }
 
 // Flow returns the stats for one flow (nil if never seen).
-func (r *Recorder) Flow(id inet.FlowID) *FlowStats { return r.flows[id] }
+func (r *Recorder) Flow(id inet.FlowID) *FlowStats {
+	if uint64(id) < uint64(len(r.dense)) {
+		if i := r.dense[id]; i != 0 {
+			return r.flows[i-1]
+		}
+		return nil
+	}
+	if i, ok := r.sparse[id]; ok {
+		return r.flows[i-1]
+	}
+	return nil
+}
 
 // Flows returns all flows sorted by ID.
 func (r *Recorder) Flows() []*FlowStats {
-	out := make([]*FlowStats, 0, len(r.flows))
-	for _, f := range r.flows {
-		out = append(out, f)
-	}
+	out := make([]*FlowStats, len(r.flows))
+	copy(out, r.flows)
 	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
 	return out
 }
 
-// DropsAt returns the total drops recorded at a location.
-func (r *Recorder) DropsAt(where string) uint64 { return r.dropsByWhere[where] }
+// DropsAt returns the total drops recorded at a location label.
+func (r *Recorder) DropsAt(where string) uint64 {
+	site, ok := LookupSite(where)
+	if !ok {
+		return 0
+	}
+	return r.DropsAtSite(site)
+}
+
+// DropsAtSite returns the total drops recorded at an interned site.
+func (r *Recorder) DropsAtSite(site DropSite) uint64 {
+	if int(site) < len(r.siteCounts) {
+		return r.siteCounts[site]
+	}
+	return 0
+}
+
+// SiteDrops returns the per-site aggregate drop counters, indexed by
+// DropSite in interning order. The slice is a copy.
+func (r *Recorder) SiteDrops() []uint64 {
+	out := make([]uint64, len(r.siteCounts))
+	copy(out, r.siteCounts)
+	return out
+}
 
 // TotalSent sums sends across flows.
 func (r *Recorder) TotalSent() uint64 {
@@ -179,8 +369,14 @@ func (r *Recorder) TotalLost() uint64 {
 }
 
 // DelayPercentile returns the p-th percentile (0 < p ≤ 100) of recorded
-// delays using nearest-rank on a sorted copy; zero when no samples.
+// delays; zero when no samples. In exact mode it is the nearest-rank
+// percentile over a sorted copy, cached and reused across queries until
+// new samples arrive. In streaming mode it answers from the DelayDigest
+// (P² estimate at the canonical percentiles, histogram otherwise).
 func (f *FlowStats) DelayPercentile(p float64) sim.Time {
+	if len(f.Delays) == 0 && f.digest != nil {
+		return f.digest.Percentile(p)
+	}
 	n := len(f.Delays)
 	if n == 0 || p <= 0 {
 		return 0
@@ -188,22 +384,30 @@ func (f *FlowStats) DelayPercentile(p float64) sim.Time {
 	if p > 100 {
 		p = 100
 	}
-	sorted := make([]sim.Time, n)
-	for i, s := range f.Delays {
-		sorted[i] = s.Delay
+	if len(f.sortedDelays) != n {
+		f.sortedDelays = f.sortedDelays[:0]
+		for _, s := range f.Delays {
+			f.sortedDelays = append(f.sortedDelays, s.Delay)
+		}
+		sortTimes(f.sortedDelays)
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	rank := int(math.Ceil(p / 100 * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
-	return sorted[rank-1]
+	return f.sortedDelays[rank-1]
 }
 
 // Jitter returns the mean absolute difference between consecutive
 // packets' delays (the RFC 3550 interarrival-jitter idea without the
 // smoothing filter); zero with fewer than two samples.
 func (f *FlowStats) Jitter() sim.Time {
+	if f.delayCount > 0 {
+		if f.delayCount < 2 {
+			return 0
+		}
+		return f.jitterSum / sim.Time(f.delayCount-1)
+	}
 	if len(f.Delays) < 2 {
 		return 0
 	}
@@ -216,4 +420,36 @@ func (f *FlowStats) Jitter() sim.Time {
 		sum += d
 	}
 	return sum / sim.Time(len(f.Delays)-1)
+}
+
+// DelaysIn returns the recorded delay samples whose delivery instants fall
+// inside [lo, hi], as a subslice of Delays (do not mutate). Delays are
+// stored in At order, so the window is located by binary search instead of
+// a full scan. Exact mode only (empty without retained samples).
+func (f *FlowStats) DelaysIn(lo, hi sim.Time) []DelaySample {
+	ds := f.Delays
+	i := sort.Search(len(ds), func(i int) bool { return ds[i].At >= lo })
+	j := sort.Search(len(ds), func(j int) bool { return ds[j].At > hi })
+	if i >= j {
+		return nil
+	}
+	return ds[i:j]
+}
+
+// DeliveryGap returns the longest interval between consecutive recorded
+// deliveries whose instants fall inside [lo, hi] — the service-outage
+// measure of the baseline and latency experiments. Exact mode only (zero
+// without retained samples). Delays are stored in At order, so the window
+// is located by binary search.
+func (f *FlowStats) DeliveryGap(lo, hi sim.Time) sim.Time {
+	ds := f.Delays
+	i := sort.Search(len(ds), func(i int) bool { return ds[i].At >= lo })
+	var gap, prev sim.Time
+	for ; i < len(ds) && ds[i].At <= hi; i++ {
+		if prev != 0 && ds[i].At-prev > gap {
+			gap = ds[i].At - prev
+		}
+		prev = ds[i].At
+	}
+	return gap
 }

@@ -57,7 +57,7 @@ func TestRecorderDroppedChargesInnermostFlow(t *testing.T) {
 	inner := pkt(7, inet.ClassHighPriority, 3, 0)
 	tunnel := inner.Encapsulate(inet.Addr{Net: 2, Host: 1}, inet.Addr{Net: 3, Host: 1})
 	r.Dropped(tunnel, "nar-buffer")
-	if got := r.Flow(7).Dropped["nar-buffer"]; got != 1 {
+	if got := r.Flow(7).DroppedAt("nar-buffer"); got != 1 {
 		t.Fatalf("drop not charged to inner flow: %d", got)
 	}
 	if r.DropsAt("nar-buffer") != 1 {
@@ -65,6 +65,52 @@ func TestRecorderDroppedChargesInnermostFlow(t *testing.T) {
 	}
 	if r.Flow(7).DroppedTotal() != 1 {
 		t.Fatal("DroppedTotal wrong")
+	}
+}
+
+func TestRecorderDroppedDoublyTunneled(t *testing.T) {
+	// Two layers of encapsulation (MAP tunnel inside an AR forwarding
+	// tunnel): the drop is still charged to the innermost flow.
+	r := NewRecorder()
+	inner := pkt(9, inet.ClassRealTime, 1, 0)
+	mid := inner.Encapsulate(inet.Addr{Net: 2, Host: 1}, inet.Addr{Net: 3, Host: 1})
+	outer := mid.Encapsulate(inet.Addr{Net: 3, Host: 1}, inet.Addr{Net: 4, Host: 1})
+	r.DroppedSite(outer, SitePARBuffer)
+	if got := r.Flow(9).DroppedAtSite(SitePARBuffer); got != 1 {
+		t.Fatalf("doubly tunneled drop not charged to innermost flow: %d", got)
+	}
+	if r.DropsAtSite(SitePARBuffer) != 1 || r.DropsAt("par-buffer") != 1 {
+		t.Fatal("aggregate counters diverge between site and string APIs")
+	}
+}
+
+func TestRecorderDroppedStringAndSiteAgree(t *testing.T) {
+	// Dropped(where string) is sugar for DroppedSite(InternSite(where)):
+	// both must feed the same counters.
+	r := NewRecorder()
+	p1 := pkt(1, inet.ClassBestEffort, 0, 0)
+	p2 := pkt(1, inet.ClassBestEffort, 1, 0)
+	r.Dropped(p1, "nar-buffer")
+	r.DroppedSite(p2, SiteNARBuffer)
+	if got := r.Flow(1).DroppedAt("nar-buffer"); got != 2 {
+		t.Fatalf("mixed-API drops = %d, want 2", got)
+	}
+	if r.DropsAtSite(SiteNARBuffer) != 2 {
+		t.Fatal("aggregate mixed-API drops wrong")
+	}
+}
+
+func TestRecorderDroppedFlowZeroDataStillCounted(t *testing.T) {
+	// A data packet without a flow label charges no per-flow counter but
+	// the aggregate site counter must still move.
+	r := NewRecorder()
+	p := &inet.Packet{Proto: inet.ProtoUDP, Size: 160} // Flow 0
+	r.Dropped(p, "lifetime")
+	if len(r.Flows()) != 0 {
+		t.Fatal("flow-less drop created a flow")
+	}
+	if r.DropsAt("lifetime") != 1 {
+		t.Fatal("aggregate drop for flow-less packet missing")
 	}
 }
 
@@ -92,7 +138,7 @@ func TestRecorderFlowsSorted(t *testing.T) {
 }
 
 func TestFlowDelayAggregates(t *testing.T) {
-	f := &FlowStats{Dropped: make(map[string]uint64)}
+	f := &FlowStats{}
 	if f.MaxDelay() != 0 || f.MeanDelay() != 0 {
 		t.Fatal("empty flow aggregates not zero")
 	}
@@ -208,7 +254,7 @@ func TestPropertyTimeSeriesConservation(t *testing.T) {
 }
 
 func TestDelayPercentile(t *testing.T) {
-	f := &FlowStats{Dropped: make(map[string]uint64)}
+	f := &FlowStats{}
 	if f.DelayPercentile(99) != 0 {
 		t.Fatal("empty percentile not zero")
 	}
@@ -234,7 +280,7 @@ func TestDelayPercentile(t *testing.T) {
 }
 
 func TestJitter(t *testing.T) {
-	f := &FlowStats{Dropped: make(map[string]uint64)}
+	f := &FlowStats{}
 	if f.Jitter() != 0 {
 		t.Fatal("jitter of empty flow not zero")
 	}
@@ -253,7 +299,7 @@ func TestPropertyPercentileMonotone(t *testing.T) {
 		if len(raw) == 0 {
 			return true
 		}
-		fl := &FlowStats{Dropped: make(map[string]uint64)}
+		fl := &FlowStats{}
 		var lo, hi sim.Time = sim.MaxTime, 0
 		for _, r := range raw {
 			d := sim.Time(r) * sim.Microsecond

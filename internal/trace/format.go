@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fho"
+	"repro/internal/inet"
+	"repro/internal/stats"
+)
+
+// NodeID is an interned emitting-element name ("par", "mh0", …). Emitters
+// intern their name once at hook-installation time and stamp the integer
+// on every event, so the emit hot path carries no strings. NodeID 0 means
+// "not interned": the event's Node field holds the name (or nothing).
+//
+// The table is process-wide (copy-on-write, lock-free reads), so events
+// keep their identity when copied between logs.
+type NodeID uint32
+
+type nodeTable struct {
+	byName map[string]NodeID
+	names  []string // names[0] is the empty placeholder for NodeID 0
+}
+
+var (
+	nodeMu  sync.Mutex
+	nodeTab atomic.Pointer[nodeTable]
+)
+
+func init() {
+	nodeTab.Store(&nodeTable{byName: map[string]NodeID{}, names: []string{""}})
+}
+
+// InternNode returns the NodeID for a name, interning it on first use.
+// Interning an already-known name is lock-free and allocation-free.
+func InternNode(name string) NodeID {
+	if name == "" {
+		return 0
+	}
+	if id, ok := nodeTab.Load().byName[name]; ok {
+		return id
+	}
+	nodeMu.Lock()
+	defer nodeMu.Unlock()
+	old := nodeTab.Load()
+	if id, ok := old.byName[name]; ok {
+		return id
+	}
+	next := &nodeTable{
+		byName: make(map[string]NodeID, len(old.byName)+1),
+		names:  make([]string, len(old.names), len(old.names)+1),
+	}
+	for k, v := range old.byName {
+		next.byName[k] = v
+	}
+	copy(next.names, old.names)
+	id := NodeID(len(next.names))
+	next.names = append(next.names, name)
+	next.byName[name] = id
+	nodeTab.Store(next)
+	return id
+}
+
+// String returns the name the node was interned under ("" for NodeID 0).
+func (id NodeID) String() string {
+	names := nodeTab.Load().names
+	if int(id) < len(names) {
+		return names[id]
+	}
+	return "node(" + strconv.FormatUint(uint64(id), 10) + ")"
+}
+
+// Code identifies a typed event payload, formatted lazily by DetailText
+// only when a trace is actually rendered or exported. CodeNone means the
+// event carries its payload in the Detail string (the compatibility escape
+// hatch for free-form notes and hand-built events).
+type Code uint8
+
+const (
+	// CodeNone selects the Detail string.
+	CodeNone Code = iota
+	// CodeSendsControl is a control-message transmission;
+	// Arg0 is the fho.Kind.
+	CodeSendsControl
+	// CodeDropPacket is a data-packet drop; Arg0 is the flow ID, Arg1 a
+	// PackPacket of (proto, class, drop site).
+	CodeDropPacket
+	// CodeDeliverPacket is a data-packet delivery; Arg0 is the flow ID,
+	// Arg1 a PackPacket of (proto, class, 0).
+	CodeDeliverPacket
+	// CodeBlackoutBegins marks the start of the L2 blackout.
+	CodeBlackoutBegins
+	// CodeAttachedNewAP marks reattachment after the blackout.
+	CodeAttachedNewAP
+	// CodeHandoffDone is a completed handover; Arg0 is a PackHandoff of
+	// its outcome flags.
+	CodeHandoffDone
+)
+
+// PackPacket packs a packet's protocol, class and drop site into one event
+// argument. The site is meaningful only for CodeDropPacket.
+func PackPacket(proto inet.Proto, class inet.Class, site stats.DropSite) int64 {
+	return int64(uint64(proto) | uint64(class)<<8 | uint64(site)<<16)
+}
+
+// unpackPacket reverses PackPacket.
+func unpackPacket(v int64) (inet.Proto, inet.Class, stats.DropSite) {
+	return inet.Proto(v & 0xff), inet.Class(v >> 8 & 0xff), stats.DropSite(uint64(v) >> 16)
+}
+
+// Handover outcome flags packed by PackHandoff.
+const (
+	handoffAnticipated = 1 << iota
+	handoffLinkLayerOnly
+	handoffNARGranted
+	handoffPARGranted
+)
+
+// PackHandoff packs a handover record's outcome flags into one event
+// argument.
+func PackHandoff(anticipated, linkLayerOnly, narGranted, parGranted bool) int64 {
+	var v int64
+	if anticipated {
+		v |= handoffAnticipated
+	}
+	if linkLayerOnly {
+		v |= handoffLinkLayerOnly
+	}
+	if narGranted {
+		v |= handoffNARGranted
+	}
+	if parGranted {
+		v |= handoffPARGranted
+	}
+	return v
+}
+
+// NodeName returns the emitting element's name: the Node string when set,
+// otherwise the interned NodeID's name.
+func (ev *Event) NodeName() string {
+	if ev.Node != "" {
+		return ev.Node
+	}
+	return ev.NodeID.String()
+}
+
+// DetailText renders the event's payload. Typed events format here — and
+// only here, when a consumer actually renders the trace; emitting them
+// costs no formatting. Events with a Detail string (or CodeNone) return it
+// unchanged, byte-identical to the old eager API.
+func (ev *Event) DetailText() string {
+	if ev.Detail != "" || ev.Code == CodeNone {
+		return ev.Detail
+	}
+	switch ev.Code {
+	case CodeSendsControl:
+		return "sends " + fho.Kind(ev.Arg0).String()
+	case CodeDropPacket:
+		proto, class, site := unpackPacket(ev.Arg1)
+		return fmt.Sprintf("%s flow=%d class=%s (%s)", proto, ev.Arg0, class, site)
+	case CodeDeliverPacket:
+		proto, class, _ := unpackPacket(ev.Arg1)
+		return fmt.Sprintf("%s flow=%d class=%s", proto, ev.Arg0, class)
+	case CodeBlackoutBegins:
+		return "L2 blackout begins"
+	case CodeAttachedNewAP:
+		return "attached to the new access point"
+	case CodeHandoffDone:
+		return fmt.Sprintf("complete (anticipated=%t link-layer=%t nar=%t par=%t)",
+			ev.Arg0&handoffAnticipated != 0, ev.Arg0&handoffLinkLayerOnly != 0,
+			ev.Arg0&handoffNARGranted != 0, ev.Arg0&handoffPARGranted != 0)
+	default:
+		return "code(" + strconv.Itoa(int(ev.Code)) + ")"
+	}
+}

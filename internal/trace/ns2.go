@@ -41,21 +41,21 @@ func opChar(k Kind) byte {
 	}
 }
 
-// WriteEvent emits one line.
+// WriteEvent emits one line. Typed events are formatted here, lazily.
 func (n *NS2Writer) WriteEvent(ev Event) error {
 	if ev.Seq >= 0 {
 		_, err := fmt.Fprintf(n.w, "%c %.6f %s seq %d %s\n",
-			opChar(ev.Kind), ev.At.Seconds(), ev.Node, ev.Seq, ev.Detail)
+			opChar(ev.Kind), ev.At.Seconds(), ev.NodeName(), ev.Seq, ev.DetailText())
 		return err
 	}
 	_, err := fmt.Fprintf(n.w, "%c %.6f %s %s\n",
-		opChar(ev.Kind), ev.At.Seconds(), ev.Node, ev.Detail)
+		opChar(ev.Kind), ev.At.Seconds(), ev.NodeName(), ev.DetailText())
 	return err
 }
 
 // WriteLog emits every stored event in time order.
 func (n *NS2Writer) WriteLog(l *Log) error {
-	for _, ev := range l.Events() {
+	for _, ev := range l.ordered() {
 		if err := n.WriteEvent(ev); err != nil {
 			return err
 		}

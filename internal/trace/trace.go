@@ -1,6 +1,12 @@
 // Package trace is the simulator's structured event log: protocol engines
 // and scenario builders emit typed events into a Log, and consumers render
 // them as a human-readable protocol trace or an ns-2-style packet trace.
+//
+// Emitting is O(1) and allocation-free in steady state: events carry typed
+// fields (an interned NodeID, a message Code and two integer arguments)
+// and are formatted lazily, only when a consumer calls Render, DetailText
+// or the ns-2 exporter. The Detail string field remains as a compatibility
+// escape hatch for free-form annotations.
 package trace
 
 import (
@@ -53,14 +59,25 @@ func (k Kind) String() string {
 	}
 }
 
-// Event is one log entry.
+// Event is one log entry. Typed emitters fill NodeID, Code and the Args
+// and leave Detail empty; the payload is formatted only when DetailText is
+// called. Hand-built events may instead set Node and Detail directly —
+// both render identically.
 type Event struct {
 	At   sim.Time
 	Kind Kind
-	// Node is the emitting element ("par", "mh0", …).
+	// Node is the emitting element's name ("par", "mh0", …) when the
+	// emitter did not intern it; prefer NodeID on hot paths.
 	Node string
-	// Detail is the human-readable payload ("sends HI", "drops seq 42
-	// (nar-buffer)", …).
+	// NodeID is the interned emitting element (see InternNode).
+	NodeID NodeID
+	// Code selects the typed payload; CodeNone selects Detail.
+	Code Code
+	// Arg0 and Arg1 carry the typed payload's parameters (flow IDs,
+	// packed class/site words, fho kinds, handoff flags).
+	Arg0, Arg1 int64
+	// Detail is the eagerly formatted payload — the compatibility escape
+	// hatch ("sends HI", "drops seq 42 (nar-buffer)", …).
 	Detail string
 	// Seq carries a packet sequence number when meaningful (KindDeliver,
 	// KindDrop); -1 otherwise.
@@ -74,7 +91,12 @@ type Log struct {
 	// dropped counts events discarded once the limit was hit.
 	dropped uint64
 	subs    []func(Event)
-	seq     int
+	// sorted tracks whether events are already in non-decreasing At order
+	// (the engine emits in time order, so this is the common case and
+	// Events/Render skip their sort). cache holds the stable-sorted view
+	// once an out-of-order emit invalidates sortedness.
+	sorted bool
+	cache  []Event
 }
 
 // NewLog creates a log bounded to limit events (zero: DefaultLimit).
@@ -82,7 +104,7 @@ func NewLog(limit int) *Log {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
-	return &Log{limit: limit}
+	return &Log{limit: limit, sorted: true}
 }
 
 // DefaultLimit bounds logs whose creator did not choose a size.
@@ -101,11 +123,21 @@ func (l *Log) Emit(ev Event) {
 		l.dropped++
 		return
 	}
+	if l.sorted && len(l.events) > 0 && ev.At < l.events[len(l.events)-1].At {
+		l.sorted = false
+	}
+	l.cache = nil
 	l.events = append(l.events, ev)
 }
 
-// Note records a free-form annotation.
+// Note records a free-form annotation. When the log is already full and
+// nobody subscribes, the annotation is counted as dropped without paying
+// for formatting.
 func (l *Log) Note(at sim.Time, node, format string, args ...any) {
+	if len(l.subs) == 0 && len(l.events) >= l.limit {
+		l.dropped++
+		return
+	}
 	l.Emit(Event{At: at, Kind: KindNote, Node: node, Detail: fmt.Sprintf(format, args...)})
 }
 
@@ -118,23 +150,43 @@ func (l *Log) Len() int { return len(l.events) }
 // Dropped returns how many events exceeded the limit.
 func (l *Log) Dropped() uint64 { return l.dropped }
 
-// Events returns the stored events sorted by time (stable for ties).
+// ordered returns the stored events in time order without copying when
+// they were emitted in order; otherwise a stable-sorted view is built once
+// and reused until the next Emit. Callers must not mutate the result.
+func (l *Log) ordered() []Event {
+	if l.sorted {
+		return l.events
+	}
+	if l.cache == nil {
+		l.cache = make([]Event, len(l.events))
+		copy(l.cache, l.events)
+		sort.SliceStable(l.cache, func(i, j int) bool { return l.cache[i].At < l.cache[j].At })
+	}
+	return l.cache
+}
+
+// Events returns the stored events sorted by time (stable for ties). The
+// slice is the caller's; when the log was emitted in time order — the
+// engine's normal behaviour — this is a plain copy with no sort.
 func (l *Log) Events() []Event {
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	src := l.ordered()
+	out := make([]Event, len(src))
+	copy(out, src)
 	return out
 }
 
-// Filter returns the stored events of the given kinds, time-sorted.
+// Filter returns the stored events of the given kinds, time-sorted. Only
+// the matching events are copied.
 func (l *Log) Filter(kinds ...Kind) []Event {
-	want := make(map[Kind]bool, len(kinds))
+	var mask uint64
 	for _, k := range kinds {
-		want[k] = true
+		if k >= 0 && int(k) < 64 {
+			mask |= 1 << uint(k)
+		}
 	}
 	var out []Event
-	for _, ev := range l.Events() {
-		if want[ev.Kind] {
+	for _, ev := range l.ordered() {
+		if ev.Kind >= 0 && int(ev.Kind) < 64 && mask&(1<<uint(ev.Kind)) != 0 {
 			out = append(out, ev)
 		}
 	}
@@ -144,8 +196,10 @@ func (l *Log) Filter(kinds ...Kind) []Event {
 // Render formats the log as a timestamped table.
 func (l *Log) Render() string {
 	var b strings.Builder
-	for _, ev := range l.Events() {
-		fmt.Fprintf(&b, "%12.6fs  %-9s %-6s %s\n", ev.At.Seconds(), ev.Kind, ev.Node, ev.Detail)
+	evs := l.ordered()
+	for i := range evs {
+		ev := &evs[i]
+		fmt.Fprintf(&b, "%12.6fs  %-9s %-6s %s\n", ev.At.Seconds(), ev.Kind, ev.NodeName(), ev.DetailText())
 	}
 	if l.dropped > 0 {
 		fmt.Fprintf(&b, "... %d events beyond the log limit\n", l.dropped)
