@@ -110,6 +110,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "\nrunner specs (-spec, with -replicas):")
 		for _, spec := range scenario.Specs() {
+			if d, ok := spec.(interface{ Describe() string }); ok && d.Describe() != "" {
+				fmt.Fprintf(stdout, "  %-11s %s\n", spec.Name(), d.Describe())
+				continue
+			}
 			fmt.Fprintf(stdout, "  %s\n", spec.Name())
 		}
 		return nil

@@ -56,6 +56,11 @@ const (
 	// Enhanced is the paper's full scheme: dual buffering with per-class
 	// operations (Table 3.3).
 	Enhanced = core.SchemeEnhanced
+	// SafetyNet is the bicast competitor from the related SafetyNet work:
+	// no router buffering — the anchor duplicates toward both access
+	// routers during handoff and the host's selective report tells the
+	// new router which gap to forward.
+	SafetyNet = core.SchemeSafetyNet
 )
 
 // Class is the class-of-service field of Table 3.1.

@@ -79,6 +79,12 @@ func TestSchemesAreOrderedByLoss(t *testing.T) {
 	if dual >= original {
 		t.Errorf("dual lost %d, original lost %d; dual buffering did not help", dual, original)
 	}
+	// SafetyNet claims no buffer space at all and still beats unbuffered
+	// fast handover: the anchor's duplicates cover the blackout.
+	safetynet := lossFor(handover.SafetyNet, 0)
+	if safetynet >= noBuffer {
+		t.Errorf("safetynet lost %d, no-buffer lost %d; bicast did not help", safetynet, noBuffer)
+	}
 }
 
 func TestFlowStats(t *testing.T) {

@@ -50,6 +50,12 @@ type ARConfig struct {
 	// sent even on loss-free links, so only loss-injected deployments
 	// should pay for them.
 	RetransmitUnacked bool
+	// BicastWindow sizes the NAR-side hold window for SafetyNet bicast
+	// copies, in packets. The window deliberately lives outside the
+	// handover pool (the scheme's whole point is claiming no pool space);
+	// overflow evicts the oldest copy, which is redundant by construction.
+	// Zero selects DefaultBicastWindow. Ignored by the buffering schemes.
+	BicastWindow int
 }
 
 // Validate reports configuration errors that would silently disable parts
@@ -81,6 +87,11 @@ const DefaultRetransmitInterval = 150 * sim.Millisecond
 // DefaultMaxSignalTries is the default transmission bound per signaling
 // exchange: the first send plus two retries, backed off 1×, 2×, 4×.
 const DefaultMaxSignalTries = 3
+
+// DefaultBicastWindow is the default SafetyNet NAR hold window: deep
+// enough for a full blackout's worth of bicast copies (primary and
+// duplicate) at the thesis' traffic rates without touching the pool.
+const DefaultBicastWindow = 64
 
 // DefaultSessionLifetime bounds sessions whose host requested no buffering
 // (no BI, hence no explicit lifetime): without it, a plain fast-handover
@@ -142,6 +153,12 @@ type session struct {
 	fullSent    bool // NAR: BufferFull already sent
 	released    bool // NAR: FNA received and buffer drained
 
+	// holdSeen dedups the SafetyNet hold window: during the blackout each
+	// packet reaches the NAR twice (PAR-redirected primary plus the
+	// anchor's bicast duplicate), and parking both would waste half the
+	// window. The second copy is discarded on arrival instead.
+	holdSeen []flowDedup
+
 	startTimer *sim.Timer
 	lifeTimer  *sim.Timer
 	// graceTimer defers the NAR reservation return after release.
@@ -173,7 +190,12 @@ type AccessRouter struct {
 	defaultAP *netsim.Iface
 
 	sessions map[inet.Addr]*session
-	auth     *fho.Authenticator
+	// ncoaIndex finds the NAR session owning a new care-of address, so the
+	// MAP's bicast duplicates (tunnelled straight to the NCoA) can be
+	// parked in the session's hold window before the host attaches.
+	// Populated only under SchemeSafetyNet.
+	ncoaIndex map[inet.Addr]*session
+	auth      *fho.Authenticator
 
 	// Free lists keep the steady-state handoff path allocation-free:
 	// session objects (with their pre-bound timers), their buffer slabs,
@@ -196,9 +218,18 @@ type AccessRouter struct {
 	authRejects       uint64
 	signalingFailures uint64
 
+	// SafetyNet accounting: copies parked in hold windows, and redundant
+	// copies discarded (report-acknowledged, window-evicted, or expired).
+	bicastHeld      uint64
+	bicastDiscarded uint64
+
 	// OnDrop observes every packet the engine drops, with the drop site
 	// (DropAtPAR, DropAtNAR, DropPolicy, DropOnLifetime).
 	OnDrop func(pkt *inet.Packet, where string)
+	// OnBicastDiscard observes every redundant bicast copy the router
+	// disposes of — a dedup event, not a loss; the observer owns the
+	// packet (pool recycling).
+	OnBicastDiscard func(pkt *inet.Packet)
 	// OnControl observes every control message the engine sends, for
 	// signaling-overhead accounting.
 	OnControl func(kind fho.Kind)
@@ -250,6 +281,9 @@ func NewAccessRouter(engine *sim.Engine, router *netsim.Router, net inet.NetID,
 	if cfg.MaxSignalTries == 0 {
 		cfg.MaxSignalTries = DefaultMaxSignalTries
 	}
+	if cfg.BicastWindow == 0 {
+		cfg.BicastWindow = DefaultBicastWindow
+	}
 	ar := &AccessRouter{
 		engine:         engine,
 		router:         router,
@@ -260,6 +294,7 @@ func NewAccessRouter(engine *sim.Engine, router *netsim.Router, net inet.NetID,
 		apIfaces:       make(map[string]*netsim.Iface),
 		apByIface:      make(map[*netsim.Iface]string),
 		sessions:       make(map[inet.Addr]*session),
+		ncoaIndex:      make(map[inet.Addr]*session),
 		fallbackRoutes: make(map[inet.Addr]*sim.Timer),
 		controlSent:    make(map[fho.Kind]uint64),
 	}
@@ -302,6 +337,13 @@ func (ar *AccessRouter) PeakGrantedSessions() int { return ar.grantPeak }
 // AuthRejects counts handover messages refused for failing
 // authentication.
 func (ar *AccessRouter) AuthRejects() uint64 { return ar.authRejects }
+
+// BicastHeld counts bicast copies parked in SafetyNet hold windows.
+func (ar *AccessRouter) BicastHeld() uint64 { return ar.bicastHeld }
+
+// BicastDiscarded counts redundant bicast copies this router disposed of
+// (report-acknowledged, window-evicted, or expired with their session).
+func (ar *AccessRouter) BicastDiscarded() uint64 { return ar.bicastDiscarded }
 
 // SignalingFailures counts acknowledged signaling exchanges this router
 // gave up on after exhausting their retransmission budget (an HI whose
@@ -349,6 +391,16 @@ func (ar *AccessRouter) intercept(in *netsim.Iface, pkt *inet.Packet) bool {
 		(s.role == rolePAR || s.role == roleLinkLayer) {
 		ar.redirect(s, pkt)
 		return true
+	}
+	// SafetyNet: the MAP tunnels bicast duplicates straight to the NCoA,
+	// which has no host route until the FNA arrives. Park them in the
+	// session's hold window; once released, fall through to the installed
+	// NCoA route (the host's dedup window absorbs any redundancy).
+	if ar.cfg.Scheme == SchemeSafetyNet && pkt.Proto == inet.ProtoTunnel {
+		if s, ok := ar.ncoaIndex[pkt.Dst]; ok && s.role == roleNAR && !s.released {
+			ar.holdBicast(s, pkt)
+			return true
+		}
 	}
 	// Reverse tunnel: uplink from the mobile host still sourced from the
 	// PCoA while attached at the NAR is tunnelled back to the PAR.
@@ -661,6 +713,9 @@ func (ar *AccessRouter) handleHI(in *netsim.Iface, pkt *inet.Packet, msg *fho.HI
 	}
 	s.lifeTimer.Reset(life)
 	ar.sessions[msg.PCoA] = s
+	if ar.cfg.Scheme == SchemeSafetyNet {
+		ar.ncoaIndex[s.ncoa] = s
+	}
 	// Host route so redirected (and forward-only) packets for the PCoA
 	// reach the radio.
 	if ar.defaultAP != nil {
@@ -781,6 +836,13 @@ func (ar *AccessRouter) narData(s *session, pkt *inet.Packet) {
 		ar.router.Forward(pkt) // host already attached; deliver directly
 		return
 	}
+	if ar.cfg.Scheme == SchemeSafetyNet {
+		// The PAR-redirected primary copies join the bicast duplicates in
+		// the hold window: they cover the gap before the bicast request
+		// reaches the MAP, and the host's dedup window resolves overlap.
+		ar.holdBicast(s, pkt)
+		return
+	}
 	op := ar.cfg.Scheme.Op(s.avail, pkt.EffectiveClass())
 	if !op.BuffersAtNAR() || s.buf == nil {
 		ar.router.Forward(pkt) // transmitted into the blackout
@@ -840,7 +902,11 @@ func (ar *AccessRouter) handleFNA(in *netsim.Iface, msg *fho.FNA) {
 	}
 	s.released = true
 	if s.buf != nil {
-		ar.drain(s.buf, inet.Addr{})
+		if ar.cfg.Scheme == SchemeSafetyNet {
+			ar.drainSelective(s, msg.Report)
+		} else {
+			ar.drain(s.buf, inet.Addr{})
+		}
 	}
 	if msg.BufferForward && !s.peer.IsUnspecified() {
 		ar.sendControl(s.peer, &fho.BF{PCoA: msg.PCoA})
@@ -936,6 +1002,67 @@ func (ar *AccessRouter) handleBF(in *netsim.Iface, msg *fho.BF) {
 	}
 }
 
+// holdBicast parks one bicast-protected packet (the tunnel wrapper,
+// whose chain the eventual receiver recycles whole) in the session's
+// hold window. The window is allocated lazily from the buffer free list
+// and never touches the pool accounting — under SafetyNet the router
+// grants nothing, so exhaustion cannot occur. Overflow evicts the oldest
+// copy, which is redundant by construction (its twin went down the other
+// leg of the bicast), so eviction is a dedup event, not a drop.
+func (ar *AccessRouter) holdBicast(s *session, pkt *inet.Packet) {
+	inner := pkt.Innermost()
+	if inner.Flow != 0 && !observeFlowSeq(&s.holdSeen, inner.Flow, inner.Seq) {
+		ar.discardDup(pkt) // twin already parked (or already evicted as stale)
+		return
+	}
+	if s.buf == nil {
+		s.buf = ar.bufFree.Get(ar.cfg.BicastWindow, 0)
+	}
+	ar.bicastHeld++
+	if evicted, reason := s.buf.PushDropHead(pkt); reason == buffer.DropHead {
+		ar.discardDup(evicted)
+	}
+}
+
+// discardDup disposes one redundant bicast copy: counted as dedup, never
+// charged to the drop counters — the packet (or its twin) was already
+// delivered or is still on its way.
+func (ar *AccessRouter) discardDup(pkt *inet.Packet) {
+	ar.bicastDiscarded++
+	if ar.OnBicastDiscard != nil {
+		ar.OnBicastDiscard(pkt)
+	}
+}
+
+// drainSelective releases the held bicast copies the host has not seen
+// and discards the rest per the FNA's selective-delivery report. A lost
+// or empty report degrades to forwarding everything — full NAR
+// forwarding, never loss; the host's dedup window absorbs the redundant
+// deliveries. The release is unpaced: the window holds at most
+// BicastWindow packets and the host is already attached.
+func (ar *AccessRouter) drainSelective(s *session, report []fho.FlowSeq) {
+	for pkt := s.buf.Pop(); pkt != nil; pkt = s.buf.Pop() {
+		if reportCovers(report, pkt.Innermost()) {
+			ar.discardDup(pkt)
+			continue
+		}
+		ar.drainSend(pkt, inet.Addr{})
+	}
+}
+
+// reportCovers reports whether the selective-delivery report acknowledges
+// the packet: its flow has an entry whose cumulative ack reaches the
+// packet's sequence number. Reports carry one entry per application flow,
+// so a linear scan beats any indexed structure.
+func reportCovers(report []fho.FlowSeq, pkt *inet.Packet) bool {
+	for _, e := range report {
+		if inet.FlowID(e.Flow) == pkt.Flow {
+			return pkt.Seq <= e.Ack
+		}
+	}
+	return false
+}
+
 // drain empties a buffer in FIFO order. An unspecified peer forwards each
 // packet through the routing table; otherwise packets are tunnelled to
 // peer. DrainInterval, when configured, paces the release through a single
@@ -1029,8 +1156,15 @@ func (ar *AccessRouter) expire(s *session) {
 		return
 	}
 	if s.buf != nil {
+		// SafetyNet hold windows contain duplicates, not the only copies:
+		// expiring them is dedup, not loss.
+		dup := ar.cfg.Scheme == SchemeSafetyNet && s.role == roleNAR
 		for pkt := s.buf.Pop(); pkt != nil; pkt = s.buf.Pop() {
-			ar.drop(pkt, DropOnLifetime)
+			if dup {
+				ar.discardDup(pkt)
+			} else {
+				ar.drop(pkt, DropOnLifetime)
+			}
 		}
 	}
 	ar.closeSession(s, true)
@@ -1061,11 +1195,21 @@ func (ar *AccessRouter) closeSession(s *session, expired bool) {
 		s.granted = 0
 	}
 	if s.buf != nil {
+		if ar.cfg.Scheme == SchemeSafetyNet && s.role == roleNAR {
+			// Any copies still held are duplicates; recycle them rather
+			// than letting the slab clear orphan the pooled packets.
+			for pkt := s.buf.Pop(); pkt != nil; pkt = s.buf.Pop() {
+				ar.discardDup(pkt)
+			}
+		}
 		ar.bufFree.Put(s.buf)
 		s.buf = nil
 	}
 	if s.role == roleNAR {
 		ar.router.RemoveHostRoute(s.pcoa)
+		if cur, ok := ar.ncoaIndex[s.ncoa]; ok && cur == s {
+			delete(ar.ncoaIndex, s.ncoa)
+		}
 	}
 	delete(ar.sessions, s.pcoa)
 	ar.freeSession(s)
@@ -1095,6 +1239,7 @@ func (ar *AccessRouter) freeSession(s *session) {
 	s.buf = nil
 	s.redirecting, s.narFull, s.fullSent, s.released = false, false, false, false
 	s.narGrant, s.sentToNAR = 0, 0
+	s.holdSeen = s.holdSeen[:0] // next append rewrites with zero windows
 	s.hiTries, s.bfTries = 0, 0
 	s.lastHI = nil
 	ar.sessFree = append(ar.sessFree, s)

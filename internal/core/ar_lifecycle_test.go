@@ -156,3 +156,16 @@ func BenchmarkARHandoffCycle(b *testing.B) {
 		h.cycle(b, 8)
 	}
 }
+
+// BenchmarkSafetyNetHandoffCycle measures the same complete handoff under
+// the SafetyNet scheme: no pool claims at either router — redirected
+// packets ride the NAR hold window and drain on the selective report.
+func BenchmarkSafetyNetHandoffCycle(b *testing.B) {
+	h := newARHarness(b, ARConfig{Scheme: SchemeSafetyNet, PoolSize: 40})
+	h.cycle(b, 8) // warm the free lists
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.cycle(b, 8)
+	}
+}

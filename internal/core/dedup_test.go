@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fho"
+	"repro/internal/inet"
+)
+
+// TestDedupWindowExactlyOnceUnderReordering is the SafetyNet receive-side
+// correctness pin: when every sequence number arrives twice (the bicast
+// twin racing the primary across the link switch) in a seeded arbitrary
+// order, the window must report each sequence fresh exactly once and end
+// with a complete contiguity frontier.
+func TestDedupWindowExactlyOnceUnderReordering(t *testing.T) {
+	const n = 64 // spans the whole mask depth; offsets never leave the window
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		rng := rand.New(rand.NewSource(seed))
+		arrivals := make([]uint32, 0, 2*n)
+		for seq := uint32(0); seq < n; seq++ {
+			arrivals = append(arrivals, seq, seq)
+		}
+		rng.Shuffle(len(arrivals), func(i, j int) {
+			arrivals[i], arrivals[j] = arrivals[j], arrivals[i]
+		})
+
+		var w dedupWindow
+		fresh := make(map[uint32]int, n)
+		for _, seq := range arrivals {
+			if w.observe(seq) {
+				fresh[seq]++
+			}
+		}
+		for seq := uint32(0); seq < n; seq++ {
+			if fresh[seq] != 1 {
+				t.Fatalf("seed %d: seq %d delivered %d times, want exactly once",
+					seed, seq, fresh[seq])
+			}
+		}
+		if w.nextContig != n {
+			t.Fatalf("seed %d: frontier at %d after full delivery, want %d",
+				seed, w.nextContig, n)
+		}
+	}
+}
+
+// TestDedupWindowTooOldIsSuppressed documents the conservative edge: a
+// sequence that has fallen more than the mask depth behind the highest
+// seen is treated as already delivered. Suppression can never turn into
+// packet loss — the NAR hold window bounds how stale a first copy can be —
+// while the opposite choice would hand duplicates to the application.
+func TestDedupWindowTooOldIsSuppressed(t *testing.T) {
+	var w dedupWindow
+	if !w.observe(0) || !w.observe(100) {
+		t.Fatal("fresh sequences reported as duplicates")
+	}
+	if w.observe(100 - 64) {
+		t.Error("sequence beyond the mask depth accepted as fresh")
+	}
+	if !w.observe(100 - 63) {
+		t.Error("oldest in-window sequence suppressed")
+	}
+}
+
+// TestMHReportAcksContiguousPrefixOnly drives the host-side dedup state
+// through per-flow reordered arrivals with one hole and checks the
+// selective-delivery report: the flow with a hole acks only the prefix
+// below it (so the NAR re-forwards the hole and everything after), an
+// untouched flow contributes no entry, and reportCovers agrees with the
+// report on both sides of each boundary.
+func TestMHReportAcksContiguousPrefixOnly(t *testing.T) {
+	mh := &MobileHost{}
+	rng := rand.New(rand.NewSource(9))
+
+	// Flow 1: sequences 0..19 except 7, delivered twice each, shuffled.
+	arrivals := make([]uint32, 0, 40)
+	for seq := uint32(0); seq < 20; seq++ {
+		if seq == 7 {
+			continue
+		}
+		arrivals = append(arrivals, seq, seq)
+	}
+	rng.Shuffle(len(arrivals), func(i, j int) {
+		arrivals[i], arrivals[j] = arrivals[j], arrivals[i]
+	})
+	fresh := 0
+	for _, seq := range arrivals {
+		if mh.observeSeq(1, seq) {
+			fresh++
+		}
+	}
+	if fresh != 19 {
+		t.Fatalf("flow 1 delivered %d fresh packets, want 19", fresh)
+	}
+	// Flow 2: a clean contiguous run.
+	for seq := uint32(0); seq < 5; seq++ {
+		mh.observeSeq(2, seq)
+	}
+
+	report := mh.buildReport()
+	want := []fho.FlowSeq{{Flow: 1, Ack: 6}, {Flow: 2, Ack: 4}}
+	if len(report) != len(want) {
+		t.Fatalf("report %v, want %v", report, want)
+	}
+	for i := range want {
+		if report[i] != want[i] {
+			t.Fatalf("report %v, want %v", report, want)
+		}
+	}
+
+	probe := func(flow inet.FlowID, seq uint32) bool {
+		return reportCovers(report, &inet.Packet{Flow: flow, Seq: seq})
+	}
+	if !probe(1, 6) || probe(1, 7) || probe(1, 8) {
+		t.Error("flow 1 coverage must end exactly at the hole")
+	}
+	if !probe(2, 0) || !probe(2, 4) || probe(2, 5) {
+		t.Error("flow 2 coverage must end at its frontier")
+	}
+	if probe(3, 0) {
+		t.Error("unreported flow must never be covered")
+	}
+}

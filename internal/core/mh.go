@@ -227,6 +227,11 @@ type MobileHost struct {
 
 	handoffs []HandoffRecord
 
+	// SafetyNet per-flow sequence windows (linear scan: a host carries a
+	// handful of flows) and the count of duplicates suppressed.
+	flowSeen      []flowDedup
+	dedupDiscards uint64
+
 	// OnDeliver receives every application packet (innermost, tunnels
 	// stripped) addressed to the host.
 	OnDeliver func(pkt *inet.Packet)
@@ -235,6 +240,10 @@ type MobileHost struct {
 	// are dead at that point; a recycling sink can return them to a
 	// packet pool. inner is still live and must not be released here.
 	ReleaseTunnel func(outer, inner *inet.Packet)
+	// OnDuplicate receives every redundant bicast copy the SafetyNet dedup
+	// window suppressed (the innermost packet, wrappers already released
+	// through ReleaseTunnel). The observer owns the packet.
+	OnDuplicate func(pkt *inet.Packet)
 	// OnHandoffDone fires after each completed handoff (attach + release
 	// signalling sent).
 	OnHandoffDone func(rec HandoffRecord)
@@ -494,9 +503,126 @@ func (mh *MobileHost) handlePacket(pkt *inet.Packet) {
 		}
 		return
 	}
+	if mh.cfg.Scheme == SchemeSafetyNet && inner.Flow != 0 && !mh.observeSeq(inner.Flow, inner.Seq) {
+		// Redundant bicast copy: the other leg already delivered it.
+		mh.dedupDiscards++
+		if mh.OnDuplicate != nil {
+			mh.OnDuplicate(inner)
+		}
+		return
+	}
 	if mh.OnDeliver != nil {
 		mh.OnDeliver(inner)
 	}
+}
+
+// DedupDiscards counts redundant bicast copies suppressed at the host.
+func (mh *MobileHost) DedupDiscards() uint64 { return mh.dedupDiscards }
+
+// flowDedup is one flow's SafetyNet receive window.
+type flowDedup struct {
+	flow inet.FlowID
+	win  dedupWindow
+}
+
+// dedupWindow is an anti-replay-style sliding sequence window: a 64-deep
+// bitmask below the highest sequence seen, plus the cumulative
+// contiguity frontier the selective-delivery report is built from.
+type dedupWindow struct {
+	seen   bool
+	maxSeq uint32
+	// mask bit i records whether maxSeq-i was received.
+	mask uint64
+	// nextContig is the lowest sequence number not yet known-delivered:
+	// every seq below it was received, so the report can safely ack
+	// nextContig-1 and nothing above.
+	nextContig uint32
+}
+
+// observe records one received sequence number and reports whether it is
+// fresh (first delivery). Sequences older than the 64-entry window are
+// conservatively treated as already seen — with bicast depth bounded by
+// the NAR hold window, a genuinely-first copy cannot lag that far.
+func (w *dedupWindow) observe(seq uint32) bool {
+	if !w.seen {
+		w.seen = true
+		w.maxSeq = seq
+		w.mask = 1
+		w.advance()
+		return true
+	}
+	if seq > w.maxSeq {
+		shift := seq - w.maxSeq
+		if shift >= 64 {
+			w.mask = 1
+		} else {
+			w.mask = w.mask<<shift | 1
+		}
+		w.maxSeq = seq
+		w.advance()
+		return true
+	}
+	off := w.maxSeq - seq
+	if off >= 64 {
+		return false
+	}
+	if w.mask&(1<<off) != 0 {
+		return false
+	}
+	w.mask |= 1 << off
+	w.advance()
+	return true
+}
+
+// advance pushes the contiguity frontier over every newly filled bit.
+func (w *dedupWindow) advance() {
+	for w.nextContig <= w.maxSeq {
+		off := w.maxSeq - w.nextContig
+		if off >= 64 || w.mask&(1<<off) == 0 {
+			return
+		}
+		w.nextContig++
+	}
+}
+
+// observeSeq records a delivery in the flow's window, creating it on
+// first contact, and reports whether the packet is fresh.
+func (mh *MobileHost) observeSeq(flow inet.FlowID, seq uint32) bool {
+	return observeFlowSeq(&mh.flowSeen, flow, seq)
+}
+
+// observeFlowSeq records one sequence observation in the flow's window
+// within set, creating the window on first contact, and reports whether
+// the sequence is fresh. Shared between the host's receive dedup and the
+// NAR's hold-window dedup (which must park each packet at most once even
+// though the PAR-redirected primary and the anchor's bicast duplicate
+// both arrive).
+func observeFlowSeq(set *[]flowDedup, flow inet.FlowID, seq uint32) bool {
+	s := *set
+	for i := range s {
+		if s[i].flow == flow {
+			return s[i].win.observe(seq)
+		}
+	}
+	*set = append(s, flowDedup{flow: flow})
+	s = *set
+	return s[len(s)-1].win.observe(seq)
+}
+
+// buildReport assembles the selective-delivery report: one cumulative ack
+// per flow with a non-empty contiguous prefix. The NAR treats anything
+// the report does not cover as undelivered, so a stalled frontier (a
+// genuine pre-handoff loss) only costs redundant forwarding.
+func (mh *MobileHost) buildReport() []fho.FlowSeq {
+	var report []fho.FlowSeq
+	for i := range mh.flowSeen {
+		f := &mh.flowSeen[i]
+		if f.win.nextContig == 0 {
+			continue
+		}
+		report = append(report, fho.FlowSeq{Flow: uint32(f.flow), Ack: f.win.nextContig - 1})
+	}
+	return report
 }
 
 // RequestLinkBuffering asks the current access router to start buffering
@@ -595,6 +721,24 @@ func (mh *MobileHost) handlePrRtAdv(msg *fho.PrRtAdv) {
 	}
 	mh.sendControl(mh.arAddr, fbu)
 	mh.armFBURetry(mh.arAddr, fbu)
+	if mh.cfg.Scheme == SchemeSafetyNet && !msg.LinkLayerOnly && !mh.mapAddr.IsUnspecified() {
+		// Ask the anchor to bicast toward the prospective NCoA for the
+		// handoff's duration. Best-effort, single send: a lost request
+		// degrades this handoff to the unprotected fast-handover path (the
+		// loss sweep makes that visible); it never causes extra loss.
+		mh.station.Send(&inet.Packet{
+			Src:     mh.lcoa,
+			Dst:     mh.mapAddr,
+			Proto:   inet.ProtoControl,
+			Size:    mip.BicastRequestSize,
+			Created: mh.engine.Now(),
+			Payload: &mip.BicastRequest{
+				Key:      mh.rcoa,
+				NCoA:     mh.ncoa,
+				Lifetime: mh.cfg.BufferLifetime,
+			},
+		})
+	}
 	target := mh.target.AP
 	mh.engine.Schedule(mh.cfg.FBUGuard, func() {
 		if mh.state != mhReady {
@@ -725,6 +869,13 @@ func (mh *MobileHost) handleLinkUp(ap *wireless.AccessPoint) {
 	}
 	wantRelease := mh.cfg.BufferRequest > 0 && mh.cfg.Scheme != SchemeFHNoBuffer
 	fna := &fho.FNA{NCoA: mh.ncoa, PCoA: pcoa, BufferForward: wantRelease}
+	if mh.cfg.Scheme == SchemeSafetyNet {
+		// Piggyback the selective-delivery report so the NAR forwards only
+		// the gap from its hold window. The FNA rides the existing
+		// RetransmitUnacked release machinery; if every copy is lost the
+		// NAR's session lifetime discards the held duplicates.
+		fna.Report = mh.buildReport()
+	}
 	if mh.auth != nil {
 		mh.auth.SignFNA(fna)
 	}

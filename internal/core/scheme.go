@@ -38,6 +38,19 @@ const (
 	// SchemeEnhanced is the full proposed scheme with per-class buffering
 	// operations (Table 3.3).
 	SchemeEnhanced
+	// SchemeSafetyNet trades buffer space for backhaul bandwidth: during
+	// handoff anticipation the MAP bicasts every downstream packet toward
+	// both PAR and NAR, the MH suppresses the duplicates with a per-flow
+	// sequence window, and a selective-delivery report piggybacked on the
+	// FNA tells the NAR to forward only the gap (Petander et al.,
+	// "Multicasting with selective delivery: A SafetyNet for vertical
+	// handoffs"). Neither AR claims pool space.
+	SchemeSafetyNet
+
+	// schemeSentinel marks one past the last defined scheme; the exhaustive
+	// enum-walk test derives its range from it, so a scheme added without
+	// updating String/Valid fails loudly.
+	schemeSentinel
 )
 
 // String implements fmt.Stringer.
@@ -53,13 +66,15 @@ func (s Scheme) String() string {
 		return "dual"
 	case SchemeEnhanced:
 		return "enhanced"
+	case SchemeSafetyNet:
+		return "safetynet"
 	default:
 		return fmt.Sprintf("scheme(%d)", int(s))
 	}
 }
 
 // Valid reports whether s is a defined scheme.
-func (s Scheme) Valid() bool { return s >= SchemeFHNoBuffer && s <= SchemeEnhanced }
+func (s Scheme) Valid() bool { return s >= SchemeFHNoBuffer && s < schemeSentinel }
 
 // WantsNARBuffer reports whether the scheme asks the NAR for buffer space
 // during negotiation.
@@ -95,6 +110,11 @@ func (s Scheme) Op(avail buffer.Availability, class inet.Class) buffer.Op {
 		return buffer.Decide(avail, inet.ClassHighPriority)
 	case SchemeEnhanced:
 		return buffer.Decide(avail, class)
+	case SchemeSafetyNet:
+		// The ARs never buffer on the scheme's behalf: duplicates flow from
+		// the MAP and the NAR only parks bicast copies in a hold window
+		// outside the pool accounting (see AccessRouter.holdBicast).
+		return buffer.OpForward
 	default:
 		return buffer.OpForward
 	}

@@ -9,28 +9,45 @@ import (
 	"repro/internal/inet"
 )
 
-func TestSchemeValidity(t *testing.T) {
-	for _, s := range []Scheme{SchemeFHNoBuffer, SchemeFHOriginal, SchemePAROnly, SchemeDual, SchemeEnhanced} {
+// TestSchemeEnumWalk exhaustively walks the enum range derived from the
+// sentinel: every defined scheme must be Valid with a proper name, and
+// the values bracketing the range must be rejected by both String and
+// Valid. Adding a scheme without updating String (or the sentinel) fails
+// here rather than silently rendering as "scheme(N)".
+func TestSchemeEnumWalk(t *testing.T) {
+	seen := make(map[string]bool)
+	for s := SchemeFHNoBuffer; s < schemeSentinel; s++ {
 		if !s.Valid() {
 			t.Errorf("%v.Valid() = false", s)
 		}
-	}
-	if Scheme(0).Valid() || Scheme(99).Valid() {
-		t.Error("invalid scheme accepted")
-	}
-}
-
-func TestSchemeStrings(t *testing.T) {
-	seen := make(map[string]bool)
-	for _, s := range []Scheme{SchemeFHNoBuffer, SchemeFHOriginal, SchemePAROnly, SchemeDual, SchemeEnhanced} {
 		str := s.String()
-		if strings.HasPrefix(str, "scheme(") || seen[str] {
-			t.Errorf("bad or duplicate scheme string %q", str)
+		if strings.HasPrefix(str, "scheme(") {
+			t.Errorf("Scheme(%d) has no String case: %q", int(s), str)
+		}
+		if seen[str] {
+			t.Errorf("duplicate scheme string %q", str)
 		}
 		seen[str] = true
+		// Buffering semantics must be internally consistent: a scheme that
+		// never asks a router for space must not emit an op buffering there.
+		both := buffer.Availability{NAR: s.WantsNARBuffer(), PAR: s.WantsPARBuffer()}
+		for class := inet.Class(0); class < 4; class++ {
+			op := s.Op(both, class)
+			if op.BuffersAtNAR() && !s.WantsNARBuffer() {
+				t.Errorf("%v buffers at NAR without wanting it (class %v)", s, class)
+			}
+			if op.BuffersAtPAR() && !s.WantsPARBuffer() {
+				t.Errorf("%v buffers at PAR without wanting it (class %v)", s, class)
+			}
+		}
 	}
-	if got := Scheme(42).String(); got != "scheme(42)" {
-		t.Errorf("unknown scheme string = %q", got)
+	for _, s := range []Scheme{0, schemeSentinel, 99} {
+		if s.Valid() {
+			t.Errorf("Scheme(%d).Valid() = true, want false", int(s))
+		}
+		if str := s.String(); !strings.HasPrefix(str, "scheme(") {
+			t.Errorf("out-of-range Scheme(%d) has a name: %q", int(s), str)
+		}
 	}
 }
 
@@ -45,6 +62,10 @@ func TestSchemeNegotiationWants(t *testing.T) {
 		{SchemePAROnly, false, true},
 		{SchemeDual, true, true},
 		{SchemeEnhanced, true, true},
+		{SchemeSafetyNet, false, false},
+	}
+	if len(tests) != int(schemeSentinel-SchemeFHNoBuffer) {
+		t.Fatalf("negotiation table covers %d schemes, enum has %d", len(tests), schemeSentinel-SchemeFHNoBuffer)
 	}
 	for _, tt := range tests {
 		if got := tt.scheme.WantsNARBuffer(); got != tt.wantsNAR {
@@ -75,6 +96,7 @@ func TestSchemeOpTable(t *testing.T) {
 		{"enhanced follows Table 3.3 for RT", SchemeEnhanced, both, inet.ClassRealTime, buffer.OpBufferNARDropHead},
 		{"enhanced follows Table 3.3 for HP", SchemeEnhanced, both, inet.ClassHighPriority, buffer.OpBufferBoth},
 		{"enhanced follows Table 3.3 for BE", SchemeEnhanced, both, inet.ClassBestEffort, buffer.OpBufferPARAlpha},
+		{"safetynet always forwards", SchemeSafetyNet, both, inet.ClassRealTime, buffer.OpForward},
 		{"invalid scheme forwards", Scheme(99), both, inet.ClassHighPriority, buffer.OpForward},
 	}
 	for _, tt := range tests {
@@ -89,7 +111,8 @@ func TestSchemeOpTable(t *testing.T) {
 // Property: no scheme ever buffers at a router that did not grant space.
 func TestPropertySchemeRespectsGrants(t *testing.T) {
 	f := func(schemeRaw uint8, nar, par bool, classRaw uint8) bool {
-		scheme := Scheme(schemeRaw%5) + SchemeFHNoBuffer
+		n := uint8(schemeSentinel - SchemeFHNoBuffer)
+		scheme := Scheme(schemeRaw%n) + SchemeFHNoBuffer
 		avail := buffer.Availability{NAR: nar, PAR: par}
 		op := scheme.Op(avail, inet.Class(classRaw%4))
 		if op.BuffersAtNAR() && !nar {

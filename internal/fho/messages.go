@@ -219,6 +219,13 @@ type FBAck struct {
 // Kind implements Message.
 func (*FBAck) Kind() Kind { return KindFBAck }
 
+// FlowSeq is one entry of a selective-delivery report: every packet of
+// Flow with sequence number <= Ack has already reached the host.
+type FlowSeq struct {
+	Flow uint32
+	Ack  uint32
+}
+
 // FNA is the Fast Neighbor Advertisement the host sends on attaching to the
 // NAR; with BufferForward set it doubles as the BF of the enhanced scheme.
 type FNA struct {
@@ -230,6 +237,12 @@ type FNA struct {
 	BufferForward bool
 	// MAC authenticates the message when the domain requires it.
 	MAC []byte
+	// Report is the SafetyNet selective-delivery report: per-flow
+	// cumulative acks telling the NAR which held bicast copies are already
+	// delivered. Encoded only when non-empty, so FNAs of the buffering
+	// schemes are byte-identical to the pre-SafetyNet wire format. The MAC
+	// covers it (signing hashes the full encoding).
+	Report []FlowSeq
 }
 
 // Kind implements Message.

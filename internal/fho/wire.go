@@ -106,6 +106,15 @@ func getU16(src []byte) (uint16, []byte, error) {
 	return binary.BigEndian.Uint16(src), src[2:], nil
 }
 
+func putU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+
+func getU32(src []byte) (uint32, []byte, error) {
+	if len(src) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint32(src), src[4:], nil
+}
+
 func putBool(dst []byte, b bool) []byte {
 	if b {
 		return append(dst, 1)
@@ -397,7 +406,21 @@ func (m *FNA) appendTo(dst []byte) []byte {
 	dst = putAddr(dst, m.NCoA)
 	dst = putAddr(dst, m.PCoA)
 	dst = putBool(dst, m.BufferForward)
-	return putBytes(dst, m.MAC)
+	dst = putBytes(dst, m.MAC)
+	// The selective-delivery report is a trailing extension encoded only
+	// when present, so report-free FNAs keep the pre-SafetyNet wire size.
+	if len(m.Report) > 0 {
+		n := len(m.Report)
+		if n > 255 {
+			n = 255
+		}
+		dst = append(dst, byte(n))
+		for _, e := range m.Report[:n] {
+			dst = putU32(dst, e.Flow)
+			dst = putU32(dst, e.Ack)
+		}
+	}
+	return dst
 }
 
 func (m *FNA) decode(src []byte) ([]byte, error) {
@@ -413,6 +436,22 @@ func (m *FNA) decode(src []byte) ([]byte, error) {
 	}
 	if m.MAC, src, err = getBytes(src); err != nil {
 		return nil, err
+	}
+	m.Report = nil
+	if len(src) > 0 {
+		n := int(src[0])
+		src = src[1:]
+		m.Report = make([]FlowSeq, 0, n)
+		for i := 0; i < n; i++ {
+			var e FlowSeq
+			if e.Flow, src, err = getU32(src); err != nil {
+				return nil, err
+			}
+			if e.Ack, src, err = getU32(src); err != nil {
+				return nil, err
+			}
+			m.Report = append(m.Report, e)
+		}
 	}
 	return src, nil
 }

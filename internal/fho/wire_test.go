@@ -92,6 +92,67 @@ func TestWireSizeIncludesHeader(t *testing.T) {
 	}
 }
 
+// The selective-delivery report is a trailing extension: report-free FNAs
+// must stay byte-identical to the pre-Report wire format, and a
+// report-carrying FNA must round-trip.
+func TestFNAReportRoundTrip(t *testing.T) {
+	plain := &FNA{NCoA: addr(2, 7), PCoA: addr(1, 7), BufferForward: true}
+	baseline := Encode(plain)
+
+	with := &FNA{NCoA: addr(2, 7), PCoA: addr(1, 7), BufferForward: true,
+		Report: []FlowSeq{{Flow: 3, Ack: 117}, {Flow: 9, Ack: 0}}}
+	data := Encode(with)
+	if !bytes.Equal(data[:len(baseline)], baseline) {
+		t.Fatal("report changed the leading FNA encoding")
+	}
+	if len(data) != len(baseline)+1+2*8 {
+		t.Fatalf("report encoding = %d extra bytes, want %d", len(data)-len(baseline), 1+2*8)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, with) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, with)
+	}
+	// Mid-report truncations must be rejected.
+	for cut := len(baseline) + 1; cut < len(data); cut++ {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("report truncated to %d bytes decoded without error", cut)
+		}
+	}
+}
+
+// Truncating a signed FNA exactly at the report boundary yields a legal
+// report-free FNA (the price of a backward-compatible trailing
+// extension), but the MAC covers the report, so verification catches it.
+func TestFNAReportTruncationFailsMAC(t *testing.T) {
+	a := NewAuthenticator([]byte("k"))
+	m := &FNA{NCoA: addr(2, 7), PCoA: addr(1, 7), BufferForward: true,
+		Report: []FlowSeq{{Flow: 1, Ack: 4}}}
+	a.SignFNA(m)
+	data := Encode(m)
+	cut := len(data) - (1 + 8) // drop the whole report extension
+	got, err := Decode(data[:cut])
+	if err != nil {
+		t.Fatalf("Decode of report-stripped FNA: %v", err)
+	}
+	stripped := got.(*FNA)
+	if len(stripped.Report) != 0 {
+		t.Fatalf("stripped FNA still has a report: %+v", stripped.Report)
+	}
+	if a.VerifyFNA(stripped) {
+		t.Fatal("MAC verified after the report was stripped")
+	}
+	full, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !a.VerifyFNA(full.(*FNA)) {
+		t.Fatal("intact signed report FNA failed verification")
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KindRtSolPr, KindPrRtAdv, KindHI, KindHAck, KindFBU,
 		KindFBAck, KindFNA, KindBF, KindBufferFull}

@@ -14,6 +14,17 @@ type AgentConfig struct {
 	// MaxLifetime caps granted binding lifetimes. Zero means "grant the
 	// requested lifetime unchanged".
 	MaxLifetime sim.Time
+	// Alloc, when set, supplies pooled packets for the bicast duplicate
+	// path so SafetyNet fan-out stays allocation-free. Nil falls back to
+	// heap allocation.
+	Alloc func() *inet.Packet
+}
+
+// bicastEntry is one active SafetyNet duplication: until expire, packets
+// intercepted for the key are additionally tunnelled to ncoa.
+type bicastEntry struct {
+	ncoa   inet.Addr
+	expire sim.Time
 }
 
 // Agent is a mobility anchor: a router that intercepts packets addressed
@@ -28,8 +39,18 @@ type Agent struct {
 	cfg    AgentConfig
 	cache  *BindingCache
 
-	intercepted uint64
-	noBinding   uint64
+	// bicast maps bound addresses under SafetyNet handoff to their
+	// duplication target (lazily created; nil outside SafetyNet runs).
+	bicast map[inet.Addr]bicastEntry
+
+	intercepted   uint64
+	noBinding     uint64
+	bicastPackets uint64
+	bicastBytes   uint64
+
+	// OnBicast observes every emitted duplicate (the tunnel wrapper), for
+	// bandwidth-overhead accounting.
+	OnBicast func(*inet.Packet)
 }
 
 // NewAgent wraps a router (created by the caller and already linked into
@@ -59,6 +80,20 @@ func (a *Agent) Intercepted() uint64 { return a.intercepted }
 // NoBinding counts managed-prefix packets dropped for lack of a binding.
 func (a *Agent) NoBinding() uint64 { return a.noBinding }
 
+// BicastPackets counts SafetyNet duplicates emitted on the wired side.
+func (a *Agent) BicastPackets() uint64 { return a.bicastPackets }
+
+// BicastBytes counts the wire bytes of the emitted duplicates (tunnel
+// header included).
+func (a *Agent) BicastBytes() uint64 { return a.bicastBytes }
+
+// BicastActive reports whether the key currently has an unexpired
+// duplication entry (tests and traces).
+func (a *Agent) BicastActive(key inet.Addr) bool {
+	e, ok := a.bicast[key]
+	return ok && e.expire > a.engine.Now()
+}
+
 // Register installs a binding directly (used for initial attachment, where
 // the thesis' scenarios start with the host already registered).
 func (a *Agent) Register(key, coa inet.Addr, lifetime sim.Time) {
@@ -66,7 +101,8 @@ func (a *Agent) Register(key, coa inet.Addr, lifetime sim.Time) {
 }
 
 // intercept tunnels packets addressed into the managed prefix toward the
-// bound care-of address.
+// bound care-of address, duplicating toward the bicast target when a
+// SafetyNet handoff is in progress.
 func (a *Agent) intercept(in *netsim.Iface, pkt *inet.Packet) bool {
 	if pkt.Dst.Net != a.cfg.ManagedNet || pkt.Dst == a.router.Addr() {
 		return false
@@ -77,35 +113,93 @@ func (a *Agent) intercept(in *netsim.Iface, pkt *inet.Packet) bool {
 		return true // consumed: no route for an unbound managed address
 	}
 	a.intercepted++
+	if len(a.bicast) > 0 {
+		a.maybeBicast(pkt, b.CoA)
+	}
 	a.router.Forward(pkt.Encapsulate(a.router.Addr(), b.CoA))
 	return true
 }
 
-// localDeliver processes binding updates addressed to the agent itself.
-func (a *Agent) localDeliver(in *netsim.Iface, pkt *inet.Packet) bool {
-	bu, ok := pkt.Payload.(*BindingUpdate)
+// maybeBicast emits the SafetyNet duplicate of pkt toward the registered
+// bicast target. The copy and its tunnel wrapper come from the packet
+// pool when configured, keeping the duplicate path allocation-free.
+func (a *Agent) maybeBicast(pkt *inet.Packet, primary inet.Addr) {
+	e, ok := a.bicast[pkt.Dst]
 	if !ok {
-		return false // not ours; router handles tunnels etc.
+		return
 	}
-	now := a.engine.Now()
-	granted := bu.Lifetime
-	if a.cfg.MaxLifetime > 0 && granted > a.cfg.MaxLifetime {
-		granted = a.cfg.MaxLifetime
+	if e.expire <= a.engine.Now() {
+		delete(a.bicast, pkt.Dst)
+		return
 	}
-	accepted := true
-	if bu.Deregister() {
-		a.cache.Remove(bu.Key)
+	if e.ncoa == primary {
+		return // binding already moved; a duplicate would be a self-copy
+	}
+	var dup, wrap *inet.Packet
+	if a.cfg.Alloc != nil && pkt.Inner == nil {
+		dup = a.cfg.Alloc()
+		*dup = *pkt
+		wrap = a.cfg.Alloc()
+		// Mirror Encapsulate field-for-field on the pooled wrapper.
+		*wrap = inet.Packet{
+			ID:      dup.ID,
+			Src:     a.router.Addr(),
+			Dst:     e.ncoa,
+			Proto:   inet.ProtoTunnel,
+			Class:   dup.Class,
+			Flow:    dup.Flow,
+			Seq:     dup.Seq,
+			Size:    dup.Size + inet.TunnelHeaderSize,
+			Created: dup.Created,
+			Inner:   dup,
+		}
 	} else {
-		accepted = a.cache.Update(bu.Key, bu.CoA, bu.Seq, granted, now)
+		wrap = pkt.Clone().Encapsulate(a.router.Addr(), e.ncoa)
 	}
-	ack := &inet.Packet{
-		Src:     a.router.Addr(),
-		Dst:     pkt.Src,
-		Proto:   inet.ProtoControl,
-		Size:    BindingAckSize,
-		Created: now,
-		Payload: &BindingAck{Key: bu.Key, Seq: bu.Seq, Accepted: accepted, Lifetime: granted},
+	a.bicastPackets++
+	a.bicastBytes += uint64(wrap.Size)
+	if a.OnBicast != nil {
+		a.OnBicast(wrap)
 	}
-	a.router.Forward(ack)
-	return true
+	a.router.Forward(wrap)
+}
+
+// localDeliver processes mobility signaling addressed to the agent itself:
+// binding updates and SafetyNet bicast requests.
+func (a *Agent) localDeliver(in *netsim.Iface, pkt *inet.Packet) bool {
+	switch msg := pkt.Payload.(type) {
+	case *BindingUpdate:
+		now := a.engine.Now()
+		granted := msg.Lifetime
+		if a.cfg.MaxLifetime > 0 && granted > a.cfg.MaxLifetime {
+			granted = a.cfg.MaxLifetime
+		}
+		accepted := true
+		if msg.Deregister() {
+			a.cache.Remove(msg.Key)
+		} else {
+			accepted = a.cache.Update(msg.Key, msg.CoA, msg.Seq, granted, now)
+		}
+		if accepted {
+			// The handoff is over once the binding moves: stop duplicating.
+			delete(a.bicast, msg.Key)
+		}
+		ack := &inet.Packet{
+			Src:     a.router.Addr(),
+			Dst:     pkt.Src,
+			Proto:   inet.ProtoControl,
+			Size:    BindingAckSize,
+			Created: now,
+			Payload: &BindingAck{Key: msg.Key, Seq: msg.Seq, Accepted: accepted, Lifetime: granted},
+		}
+		a.router.Forward(ack)
+		return true
+	case *BicastRequest:
+		if a.bicast == nil {
+			a.bicast = make(map[inet.Addr]bicastEntry)
+		}
+		a.bicast[msg.Key] = bicastEntry{ncoa: msg.NCoA, expire: a.engine.Now() + msg.Lifetime}
+		return true
+	}
+	return false // not ours; router handles tunnels etc.
 }

@@ -32,8 +32,24 @@ type BindingAck struct {
 	Lifetime sim.Time
 }
 
+// BicastRequest asks the anchor to duplicate downstream packets toward a
+// second care-of address for the duration of a handoff (the SafetyNet
+// scheme): the primary copy keeps following the binding while the
+// duplicate is tunnelled to NCoA. The request is best-effort — if it is
+// lost, the handoff simply proceeds without bicast protection.
+type BicastRequest struct {
+	// Key is the bound address whose traffic should be duplicated.
+	Key inet.Addr
+	// NCoA is the prospective care-of address receiving the duplicates.
+	NCoA inet.Addr
+	// Lifetime bounds the bicast; an accepted BindingUpdate for Key also
+	// ends it.
+	Lifetime sim.Time
+}
+
 // Wire sizes of the mobility-header messages, used to size control packets.
 const (
 	BindingUpdateSize = 56
 	BindingAckSize    = 52
+	BicastRequestSize = 52
 )

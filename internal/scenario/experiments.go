@@ -142,6 +142,24 @@ func Experiments() []Experiment {
 			Title:     "Metro-scale mass handoff: shared buffer pools under thousands of hosts",
 			RunSeeded: func(seed int64) Renderer { return RunMetro(MetroParams{Seed: seed}) },
 		},
+		{
+			ID:    "drop-sfn",
+			Title: "Packet drop rate, SafetyNet bicast with selective delivery (no AR buffering)",
+			RunSeeded: func(seed int64) Renderer {
+				return RunDropTrace(DropTraceParams{
+					Scheme: core.SchemeSafetyNet, PoolSize: 40, Handoffs: 100, Seed: seed,
+				})
+			},
+		},
+		{
+			ID:    "delay-sfn",
+			Title: "End-to-end delay, SafetyNet bicast with selective delivery",
+			RunSeeded: func(seed int64) Renderer {
+				return RunDelayTrace(DelayTraceParams{
+					Scheme: core.SchemeSafetyNet, PoolSize: 40, Seed: seed,
+				})
+			},
+		},
 	}
 	for i := range exps {
 		runSeeded := exps[i].RunSeeded

@@ -60,6 +60,14 @@ type DropTraceResult struct {
 	// Cumulative[k][i] is flow k's (F1 real-time, F2 high-priority, F3
 	// best-effort) cumulative loss after handoff i+1.
 	Cumulative [3][]uint64
+	// SafetyNet bandwidth-overhead accounting (zero for the buffering
+	// schemes): anchor duplicates, total sends, and where the redundant
+	// copies were suppressed.
+	DupPackets uint64
+	DupBytes   uint64
+	DedupMH    uint64
+	DedupNAR   uint64
+	TotalSent  uint64
 }
 
 // RunDropTrace executes one of the Figure 4.3–4.5 scenarios.
@@ -107,6 +115,11 @@ func RunDropTrace(p DropTraceParams) DropTraceResult {
 	if err := tb.Engine.Run(horizon); err != nil && err != sim.ErrStopped {
 		panic(fmt.Sprintf("drop trace: %v", err))
 	}
+	res.DupPackets = tb.Recorder.DupPackets()
+	res.DupBytes = tb.Recorder.DupBytes()
+	res.DedupMH = tb.Recorder.DedupDiscardsMH()
+	res.DedupNAR = tb.Recorder.DedupDiscardsNAR()
+	res.TotalSent = tb.Recorder.TotalSent()
 	return res
 }
 
@@ -138,6 +151,16 @@ func (r DropTraceResult) Render() string {
 		}
 		fmt.Fprintf(&b, "%-9d%10d%10d%10d\n", i+1,
 			r.Cumulative[0][i], r.Cumulative[1][i], r.Cumulative[2][i])
+	}
+	// The bandwidth-overhead footer only exists for SafetyNet, keeping the
+	// Figure 4.3–4.5 renders byte-identical to the pre-SafetyNet output.
+	if r.Params.Scheme == core.SchemeSafetyNet {
+		ratio := 0.0
+		if r.TotalSent > 0 {
+			ratio = float64(r.DupPackets) / float64(r.TotalSent)
+		}
+		fmt.Fprintf(&b, "\nbicast overhead: %d duplicate packets (%d bytes wired, %.3f per packet sent); dedup %d at MH, %d at NAR\n",
+			r.DupPackets, r.DupBytes, ratio, r.DedupMH, r.DedupNAR)
 	}
 	return b.String()
 }

@@ -36,4 +36,31 @@ func TestSchedulerGoldenDeterminism(t *testing.T) {
 	if got := render(cal); got != want {
 		t.Fatal("reused calendar engine diverged after Reset")
 	}
+
+	// The SafetyNet data path (anchor bicast fan-out, NAR hold window,
+	// selective drain) runs through the same engines: its renders — drop
+	// trace with the overhead footer, and delay trace — must be equally
+	// scheduler- and reuse-independent.
+	renderSfn := func(engine *sim.Engine) string {
+		drop := RunDropTrace(DropTraceParams{
+			Scheme: core.SchemeSafetyNet, PoolSize: 40, Handoffs: 4, Engine: engine,
+		}).Render()
+		delay := RunDelayTrace(DelayTraceParams{
+			Scheme: core.SchemeSafetyNet, PoolSize: 40, Engine: engine,
+		}).Render()
+		return drop + "\n" + delay
+	}
+	wantSfn := renderSfn(heap)
+	if got := renderSfn(cal); got != wantSfn {
+		t.Fatalf("safetynet: calendar scheduler diverged from heap:\n--- heap ---\n%s\n--- calendar ---\n%s", wantSfn, got)
+	}
+	if got := renderSfn(nil); got != wantSfn {
+		t.Fatal("safetynet: default engine diverged from explicit heap engine")
+	}
+	if got := renderSfn(heap); got != wantSfn {
+		t.Fatal("safetynet: reused heap engine diverged after Reset")
+	}
+	if got := renderSfn(cal); got != wantSfn {
+		t.Fatal("safetynet: reused calendar engine diverged after Reset")
+	}
 }

@@ -86,6 +86,10 @@ func RunLossSweep(p LossSweepParams) LossSweepResult {
 	schemes := []LossSweepScheme{
 		{Name: "enhanced buffer management", Slug: "enh", Scheme: core.SchemeEnhanced},
 		{Name: "original fast handover", Slug: "fho", Scheme: core.SchemeFHOriginal},
+		// SafetyNet leans on the same retransmission/backoff machinery, and
+		// additionally must shrug off a lost bicast request or selective
+		// report: either degrades to full NAR forwarding, never to loss.
+		{Name: "safetynet bicast", Slug: "sfn", Scheme: core.SchemeSafetyNet},
 	}
 	for _, sch := range schemes {
 		for _, rate := range p.Rates {
@@ -193,20 +197,23 @@ func (r LossSweepResult) WriteCSV(w io.Writer) error {
 // each cell's counters as scalars (keys carry the scheme slug and the loss
 // rate in percent, e.g. handoffs_enh_r5).
 func LossSweepSpec() runner.Spec {
-	return scratchSpec{name: "loss-sweep", run: func(engine *sim.Engine, seed int64) runner.Metrics {
-		res := RunLossSweep(LossSweepParams{Seed: seed, Engine: engine})
-		m := runner.Metrics{}
-		for _, sch := range res.Schemes {
-			for _, row := range sch.Rows {
-				key := sch.Slug + "_r" + strconv.FormatFloat(row.Rate*100, 'g', -1, 64)
-				m["handoffs_"+key] = float64(row.Handoffs)
-				m["anticipated_"+key] = float64(row.Anticipated)
-				m["signaling_failures_"+key] = float64(row.SignalingFailures)
-				m["injected_"+key] = float64(row.Injected)
-				m["data_lost_"+key] = float64(row.DataLost)
-				m["sessions_left_"+key] = float64(row.SessionsLeft)
+	return scratchSpec{
+		name: "loss-sweep",
+		desc: "handoff resilience under injected control loss: schemes enh/fho/sfn × rates 0-10%",
+		run: func(engine *sim.Engine, seed int64) runner.Metrics {
+			res := RunLossSweep(LossSweepParams{Seed: seed, Engine: engine})
+			m := runner.Metrics{}
+			for _, sch := range res.Schemes {
+				for _, row := range sch.Rows {
+					key := sch.Slug + "_r" + strconv.FormatFloat(row.Rate*100, 'g', -1, 64)
+					m["handoffs_"+key] = float64(row.Handoffs)
+					m["anticipated_"+key] = float64(row.Anticipated)
+					m["signaling_failures_"+key] = float64(row.SignalingFailures)
+					m["injected_"+key] = float64(row.Injected)
+					m["data_lost_"+key] = float64(row.DataLost)
+					m["sessions_left_"+key] = float64(row.SessionsLeft)
+				}
 			}
-		}
-		return m
-	}}
+			return m
+		}}
 }

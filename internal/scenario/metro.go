@@ -103,6 +103,14 @@ type MetroCell struct {
 	// SessionsLeft counts handoff sessions still open after the
 	// post-run drain; zero in a correct run.
 	SessionsLeft int
+	// SafetyNet bandwidth-overhead accounting (zero for the buffering
+	// variants): anchor duplicates emitted, total packet sends, and where
+	// the redundant copies were suppressed.
+	DupPackets uint64
+	DupBytes   uint64
+	DedupMH    uint64
+	DedupNAR   uint64
+	TotalSent  uint64
 }
 
 // ExhaustionRate is the fraction of buffer requests refused.
@@ -112,6 +120,15 @@ func (c MetroCell) ExhaustionRate() float64 {
 		return 0
 	}
 	return float64(c.Refusals) / float64(total)
+}
+
+// OverheadRatio is the bicast duplicates emitted per packet sent — the
+// backhaul bandwidth SafetyNet pays instead of pool space.
+func (c MetroCell) OverheadRatio() float64 {
+	if c.TotalSent == 0 {
+		return 0
+	}
+	return float64(c.DupPackets) / float64(c.TotalSent)
 }
 
 // MetroVariant is one buffering variant's sweep.
@@ -150,7 +167,8 @@ func (r MetroResult) CapacityRatio() float64 {
 }
 
 // RunMetro sweeps N staggered handoffs against shared router pools for the
-// NAR-only and dual buffering variants at equal per-handoff pool demand.
+// NAR-only and dual buffering variants at equal per-handoff pool demand,
+// plus the SafetyNet bicast variant, which sidesteps the pool entirely.
 func RunMetro(p MetroParams) MetroResult {
 	p.applyDefaults()
 	res := MetroResult{Params: p}
@@ -159,6 +177,12 @@ func RunMetro(p MetroParams) MetroResult {
 			Scheme: core.SchemeFHOriginal, Request: p.BufferRequest},
 		{Name: "dual buffering (split across PAR+NAR)", Slug: "dual",
 			Scheme: core.SchemeDual, Request: (p.BufferRequest + 1) / 2},
+		// SafetyNet claims no pool space at all: the request is the demand
+		// the buffering variants would have placed, kept for a fair axis,
+		// but the routers grant nothing and exhaustion stays at zero while
+		// the anchor pays in duplicate backhaul traffic instead.
+		{Name: "safetynet bicast (no AR buffering)", Slug: "sfn",
+			Scheme: core.SchemeSafetyNet, Request: p.BufferRequest},
 	}
 	for _, v := range variants {
 		for _, hosts := range p.Hosts {
@@ -214,6 +238,11 @@ func runMetroCell(p MetroParams, scheme core.Scheme, request, hosts int) MetroCe
 		PeakNAR:      tb.NAR.PeakGrantedSessions(),
 		PeakPAR:      tb.PAR.PeakGrantedSessions(),
 		SessionsLeft: tb.PAR.Sessions() + tb.NAR.Sessions(),
+		DupPackets:   tb.Recorder.DupPackets(),
+		DupBytes:     tb.Recorder.DupBytes(),
+		DedupMH:      tb.Recorder.DedupDiscardsMH(),
+		DedupNAR:     tb.Recorder.DedupDiscardsNAR(),
+		TotalSent:    tb.Recorder.TotalSent(),
 	}
 	var delaySum float64
 	var delayed int
@@ -258,6 +287,21 @@ func (r MetroResult) Render() string {
 		r.Params.PoolSize, r.Params.BufferRequest)
 	for _, v := range r.Variants {
 		fmt.Fprintf(&b, "\n%s (request %d)\n", v.Name, v.Request)
+		if v.Scheme == core.SchemeSafetyNet {
+			// The bicast variant trades pool space for backhaul bandwidth,
+			// so its table carries the duplicate-traffic columns the
+			// buffering variants have no use for.
+			fmt.Fprintf(&b, "%7s%10s%8s%9s%9s%8s%8s%8s%10s%10s%10s\n",
+				"hosts", "handoffs", "grants", "refused", "exhaust",
+				"lostRT", "lostHP", "lostBE", "maxdelay", "dups", "overhead")
+			for _, c := range v.Cells {
+				fmt.Fprintf(&b, "%7d%10d%8d%9d%8.0f%%%8d%8d%8d%8.0fms%10d%9.3fx\n",
+					c.Hosts, c.Handoffs, c.Grants, c.Refusals, c.ExhaustionRate()*100,
+					c.Lost[0], c.Lost[1], c.Lost[2], c.MaxDelayMs,
+					c.DupPackets, c.OverheadRatio())
+			}
+			continue
+		}
 		fmt.Fprintf(&b, "%7s%10s%8s%9s%9s%9s%9s%8s%8s%8s%10s\n",
 			"hosts", "handoffs", "grants", "refused", "exhaust",
 			"peakNAR", "peakPAR", "lostRT", "lostHP", "lostBE", "maxdelay")
@@ -275,15 +319,17 @@ func (r MetroResult) Render() string {
 // WriteCSV emits the grid as rows of variant,hosts,counters.
 func (r MetroResult) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "variant,hosts,handoffs,grants,refusals,exhaustion_rate,"+
-		"peak_nar,peak_par,lost_rt,lost_hp,lost_be,max_delay_ms,mean_delay_ms,sessions_left"); err != nil {
+		"peak_nar,peak_par,lost_rt,lost_hp,lost_be,max_delay_ms,mean_delay_ms,sessions_left,"+
+		"dup_packets,dup_bytes,dedup_mh,dedup_nar,overhead_ratio"); err != nil {
 		return err
 	}
 	for _, v := range r.Variants {
 		for _, c := range v.Cells {
-			_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%g,%d,%d,%d,%d,%d,%g,%g,%d\n",
+			_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%g,%d,%d,%d,%d,%d,%g,%g,%d,%d,%d,%d,%d,%g\n",
 				v.Slug, c.Hosts, c.Handoffs, c.Grants, c.Refusals, c.ExhaustionRate(),
 				c.PeakNAR, c.PeakPAR, c.Lost[0], c.Lost[1], c.Lost[2],
-				c.MaxDelayMs, c.MeanDelayMs, c.SessionsLeft)
+				c.MaxDelayMs, c.MeanDelayMs, c.SessionsLeft,
+				c.DupPackets, c.DupBytes, c.DedupMH, c.DedupNAR, c.OverheadRatio())
 			if err != nil {
 				return err
 			}
@@ -296,26 +342,36 @@ func (r MetroResult) WriteCSV(w io.Writer) error {
 // metrics are keyed by variant slug and host count (e.g. peak_nar_dual_n2000);
 // capacity_ratio is the headline dual/NAR-only concurrency comparison.
 func MetroSpec(p MetroParams) runner.Spec {
-	return scratchSpec{name: "metro", run: func(engine *sim.Engine, seed int64) runner.Metrics {
-		p := p
-		p.Seed = seed
-		p.Engine = engine
-		res := RunMetro(p)
-		m := runner.Metrics{"capacity_ratio": res.CapacityRatio()}
-		for _, v := range res.Variants {
-			for _, c := range v.Cells {
-				key := v.Slug + "_n" + strconv.Itoa(c.Hosts)
-				m["handoffs_"+key] = float64(c.Handoffs)
-				m["refusal_rate_"+key] = c.ExhaustionRate()
-				m["peak_nar_"+key] = float64(c.PeakNAR)
-				m["peak_par_"+key] = float64(c.PeakPAR)
-				for k, suffix := range classSuffix {
-					m["lost_"+suffix+"_"+key] = float64(c.Lost[k])
+	d := p
+	d.applyDefaults()
+	return scratchSpec{
+		name: "metro",
+		desc: fmt.Sprintf("mass-handoff pool pressure: variants nar/dual/sfn, pool=%d demand=%d hosts up to %d",
+			d.PoolSize, d.BufferRequest, d.Hosts[len(d.Hosts)-1]),
+		run: func(engine *sim.Engine, seed int64) runner.Metrics {
+			p := p
+			p.Seed = seed
+			p.Engine = engine
+			res := RunMetro(p)
+			m := runner.Metrics{"capacity_ratio": res.CapacityRatio()}
+			for _, v := range res.Variants {
+				for _, c := range v.Cells {
+					key := v.Slug + "_n" + strconv.Itoa(c.Hosts)
+					m["handoffs_"+key] = float64(c.Handoffs)
+					m["refusal_rate_"+key] = c.ExhaustionRate()
+					m["peak_nar_"+key] = float64(c.PeakNAR)
+					m["peak_par_"+key] = float64(c.PeakPAR)
+					for k, suffix := range classSuffix {
+						m["lost_"+suffix+"_"+key] = float64(c.Lost[k])
+					}
+					m["max_delay_ms_"+key] = c.MaxDelayMs
+					m["sessions_left_"+key] = float64(c.SessionsLeft)
+					if v.Scheme == core.SchemeSafetyNet {
+						m["dup_packets_"+key] = float64(c.DupPackets)
+						m["overhead_ratio_"+key] = c.OverheadRatio()
+					}
 				}
-				m["max_delay_ms_"+key] = c.MaxDelayMs
-				m["sessions_left_"+key] = float64(c.SessionsLeft)
 			}
-		}
-		return m
-	}}
+			return m
+		}}
 }

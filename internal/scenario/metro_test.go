@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -25,8 +26,8 @@ func smallMetro() MetroParams {
 // PAR and NAR sustains about twice the simultaneous handoffs.
 func TestMetroDualDoublesCapacity(t *testing.T) {
 	res := RunMetro(smallMetro())
-	if len(res.Variants) != 2 {
-		t.Fatalf("got %d variants, want 2", len(res.Variants))
+	if len(res.Variants) != 3 {
+		t.Fatalf("got %d variants, want 3", len(res.Variants))
 	}
 	for _, v := range res.Variants {
 		c := v.Cells[0]
@@ -35,6 +36,21 @@ func TestMetroDualDoublesCapacity(t *testing.T) {
 		}
 		if c.SessionsLeft != 0 {
 			t.Errorf("%s: %d sessions leaked", v.Slug, c.SessionsLeft)
+		}
+		if v.Scheme == core.SchemeSafetyNet {
+			// The bicast variant never touches the pool — exhaustion stays
+			// flat at zero no matter how oversubscribed the cell is — and
+			// pays in duplicate backhaul traffic instead.
+			if c.Grants != 0 || c.Refusals != 0 {
+				t.Errorf("sfn: pool touched (grants=%d refusals=%d), want untouched", c.Grants, c.Refusals)
+			}
+			if c.DupPackets == 0 || c.OverheadRatio() <= 0 {
+				t.Errorf("sfn: no bandwidth overhead recorded (dups=%d)", c.DupPackets)
+			}
+			if c.Lost != [3]uint64{} {
+				t.Errorf("sfn: lost packets %v, want none", c.Lost)
+			}
+			continue
 		}
 		if c.Refusals == 0 {
 			t.Errorf("%s: pool never exhausted — the cell is not oversubscribed", v.Slug)
@@ -63,7 +79,7 @@ func TestMetroDeterminism(t *testing.T) {
 func TestMetroRenderAndCSV(t *testing.T) {
 	res := RunMetro(smallMetro())
 	out := res.Render()
-	for _, want := range []string{"NAR only", "dual buffering", "capacity ratio"} {
+	for _, want := range []string{"NAR only", "dual buffering", "safetynet bicast", "overhead", "capacity ratio"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Render missing %q:\n%s", want, out)
 		}
@@ -73,8 +89,8 @@ func TestMetroRenderAndCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 1+2 { // header + one cell per variant
-		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), buf.String())
+	if len(lines) != 1+3 { // header + one cell per variant
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), buf.String())
 	}
 	if !strings.HasPrefix(lines[0], "variant,hosts,") {
 		t.Fatalf("CSV header = %q", lines[0])
@@ -108,6 +124,8 @@ func TestMetroSpecMetrics(t *testing.T) {
 		"refusal_rate_nar_n40", "refusal_rate_dual_n40",
 		"lost_rt_nar_n40", "lost_hp_dual_n40", "lost_be_dual_n40",
 		"handoffs_dual_n40", "sessions_left_nar_n40",
+		"handoffs_sfn_n40", "refusal_rate_sfn_n40",
+		"dup_packets_sfn_n40", "overhead_ratio_sfn_n40",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("metric %q missing (have %d metrics)", key, len(m))

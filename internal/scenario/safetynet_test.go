@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/inet"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// TestSafetyNetHandoffLossFree is the scheme's headline property on the
+// reference testbed: across repeated handoffs the bicast covers the
+// blackout without either access router claiming pool space, at the cost
+// of measurable duplicate traffic on the wired side.
+func TestSafetyNetHandoffLossFree(t *testing.T) {
+	res := RunDropTrace(DropTraceParams{Scheme: core.SchemeSafetyNet, PoolSize: 40, Handoffs: 6})
+	if got := res.Handoffs(); got != 6 {
+		t.Fatalf("recorded %d handoffs, want 6", got)
+	}
+	for k, final := range res.Final() {
+		if final != 0 {
+			t.Errorf("flow %d lost %d packets, want 0", k+1, final)
+		}
+	}
+	if res.DupPackets == 0 {
+		t.Error("no bicast duplicates emitted")
+	}
+	if res.DupBytes == 0 {
+		t.Error("no duplicate bytes counted")
+	}
+	if res.DedupMH == 0 && res.DedupNAR == 0 {
+		t.Error("no duplicate was ever suppressed anywhere")
+	}
+}
+
+// TestSafetyNetClaimsNoPoolSpace pins the zero-buffer-occupancy half of
+// the tradeoff: a full handoff cycle under SafetyNet must leave both
+// routers' pool counters untouched (no grants, no refusals), with the
+// hold window living entirely outside the pool — so even a pool far too
+// small for the blackout demand loses nothing.
+func TestSafetyNetClaimsNoPoolSpace(t *testing.T) {
+	tb := NewTestbed(Params{Scheme: core.SchemeSafetyNet, PoolSize: 4, BufferRequest: 4})
+	unit := tb.AddMobileHost(wireless.PingPong{A: 20, B: 192, Speed: MHSpeed}, []FlowSpec{
+		{Class: inet.ClassRealTime, Size: 160, Interval: 10 * sim.Millisecond},
+	})
+	done := 0
+	unit.MH.OnHandoffDone = func(core.HandoffRecord) {
+		if done++; done == 4 {
+			tb.Engine.Schedule(2*sim.Second, tb.Engine.Stop)
+		}
+	}
+	tb.StartTraffic()
+	if err := tb.Engine.Run(8 * 18 * sim.Second); err != nil && err != sim.ErrStopped {
+		t.Fatal(err)
+	}
+	tb.StopTraffic()
+
+	if lost := tb.Recorder.Flow(unit.Flows[0]).Lost(); lost != 0 {
+		t.Errorf("lost %d packets with a tiny pool, want 0", lost)
+	}
+	for _, ar := range []*core.AccessRouter{tb.PAR, tb.NAR} {
+		if g := ar.PoolGrants(); g != 0 {
+			t.Errorf("%v granted pool space %d times, want 0", ar, g)
+		}
+		if r := ar.PoolRefusals(); r != 0 {
+			t.Errorf("%v refused pool space %d times, want 0", ar, r)
+		}
+	}
+	if tb.NAR.BicastHeld()+tb.PAR.BicastHeld() == 0 {
+		t.Error("no packet ever entered a bicast hold window")
+	}
+}

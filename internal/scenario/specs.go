@@ -28,10 +28,16 @@ var classSuffix = [3]string{"rt", "hp", "be"}
 // produce bit-for-bit identical metrics (see Engine.Reset).
 type scratchSpec struct {
 	name string
+	// desc is a one-line human summary of the scenario and its parameters
+	// (scheme, pool sizing, axis), surfaced by `experiments -list`.
+	desc string
 	run  func(engine *sim.Engine, seed int64) runner.Metrics
 }
 
 func (s scratchSpec) Name() string { return s.name }
+
+// Describe returns the spec's one-line scenario/parameter summary.
+func (s scratchSpec) Describe() string { return s.desc }
 
 func (s scratchSpec) Run(seed int64) (runner.Metrics, error) { return s.run(nil, seed), nil }
 
@@ -66,6 +72,11 @@ func Specs() []runner.Spec {
 		LatencySpec(10),
 		LossSweepSpec(),
 		MetroSpec(MetroParams{}),
+		// The SafetyNet competitor on the same drop/delay scenarios the
+		// buffering schemes run (no thesis figure numbers: the scheme is
+		// from the related SafetyNet work, not the thesis).
+		DropTraceSpec("drop-sfn", DropTraceParams{Scheme: core.SchemeSafetyNet, PoolSize: 40, Handoffs: 100}),
+		DelayTraceSpec("delay-sfn", DelayTraceParams{Scheme: core.SchemeSafetyNet, PoolSize: 40}),
 	}
 }
 
@@ -84,113 +95,152 @@ func SpecByName(name string) (runner.Spec, error) {
 // Fig42Spec wraps the buffer-utilization experiment (Figure 4.2) as a
 // seedable runner spec reporting the loss-free capacities per scheme.
 func Fig42Spec(p Fig42Params) runner.Spec {
-	return scratchSpec{name: "fig4.2", run: func(engine *sim.Engine, seed int64) runner.Metrics {
-		p := p
-		p.Seed = seed
-		p.Engine = engine
-		res := RunFig42(p)
-		m := runner.Metrics{
-			"capacity_nar":  float64(res.MaxLossFree("NAR")),
-			"capacity_par":  float64(res.MaxLossFree("PAR")),
-			"capacity_dual": float64(res.MaxLossFree("DUAL")),
-		}
-		fh := res.Drops["FH"]
-		m["drops_fh_at_max"] = float64(fh[len(fh)-1])
-		return m
-	}}
+	return scratchSpec{
+		name: "fig4.2",
+		desc: "loss-free buffer capacity per placement (NAR/PAR/dual size sweep)",
+		run: func(engine *sim.Engine, seed int64) runner.Metrics {
+			p := p
+			p.Seed = seed
+			p.Engine = engine
+			res := RunFig42(p)
+			m := runner.Metrics{
+				"capacity_nar":  float64(res.MaxLossFree("NAR")),
+				"capacity_par":  float64(res.MaxLossFree("PAR")),
+				"capacity_dual": float64(res.MaxLossFree("DUAL")),
+			}
+			fh := res.Drops["FH"]
+			m["drops_fh_at_max"] = float64(fh[len(fh)-1])
+			return m
+		}}
 }
 
 // DropTraceSpec wraps a cumulative-drop experiment (Figures 4.3–4.5) as
 // a seedable runner spec reporting the final per-class drop counts.
 func DropTraceSpec(name string, p DropTraceParams) runner.Spec {
-	return scratchSpec{name: name, run: func(engine *sim.Engine, seed int64) runner.Metrics {
-		p := p
-		p.Seed = seed
-		p.Engine = engine
-		res := RunDropTrace(p)
-		final := res.Final()
-		m := runner.Metrics{"handoffs": float64(res.Handoffs())}
-		for k, suffix := range classSuffix {
-			m["drops_"+suffix] = float64(final[k])
-		}
-		return m
-	}}
+	d := p
+	d.applyDefaults()
+	return scratchSpec{
+		name: name,
+		desc: fmt.Sprintf("cumulative per-class drops: scheme=%s pool=%d alpha=%d handoffs=%d",
+			d.Scheme, d.PoolSize, d.Alpha, d.Handoffs),
+		run: func(engine *sim.Engine, seed int64) runner.Metrics {
+			p := p
+			p.Seed = seed
+			p.Engine = engine
+			res := RunDropTrace(p)
+			final := res.Final()
+			m := runner.Metrics{"handoffs": float64(res.Handoffs())}
+			for k, suffix := range classSuffix {
+				m["drops_"+suffix] = float64(final[k])
+			}
+			if p.Scheme == core.SchemeSafetyNet {
+				m["dup_packets"] = float64(res.DupPackets)
+				ratio := 0.0
+				if res.TotalSent > 0 {
+					ratio = float64(res.DupPackets) / float64(res.TotalSent)
+				}
+				m["overhead_ratio"] = ratio
+			}
+			return m
+		}}
 }
 
 // Fig46Spec wraps the data-rate sweep (Figure 4.6) as a seedable runner
 // spec reporting the per-class losses at the highest rate.
 func Fig46Spec(p Fig46Params) runner.Spec {
-	return scratchSpec{name: "fig4.6", run: func(engine *sim.Engine, seed int64) runner.Metrics {
-		p := p
-		p.Seed = seed
-		p.Engine = engine
-		res := RunFig46(p)
-		last := res.Rows[len(res.Rows)-1]
-		m := runner.Metrics{}
-		for k, suffix := range classSuffix {
-			m["lost_"+suffix+"_at_max_rate"] = float64(last.Lost[k])
-		}
-		return m
-	}}
+	return scratchSpec{
+		name: "fig4.6",
+		desc: "per-class loss vs data rate (enhanced scheme, rate sweep)",
+		run: func(engine *sim.Engine, seed int64) runner.Metrics {
+			p := p
+			p.Seed = seed
+			p.Engine = engine
+			res := RunFig46(p)
+			last := res.Rows[len(res.Rows)-1]
+			m := runner.Metrics{}
+			for k, suffix := range classSuffix {
+				m["lost_"+suffix+"_at_max_rate"] = float64(last.Lost[k])
+			}
+			return m
+		}}
 }
 
 // DelayTraceSpec wraps an end-to-end-delay experiment (Figures 4.7–4.10)
 // as a seedable runner spec reporting per-class maximum delay and loss.
 func DelayTraceSpec(name string, p DelayTraceParams) runner.Spec {
-	return scratchSpec{name: name, run: func(engine *sim.Engine, seed int64) runner.Metrics {
-		p := p
-		p.Seed = seed
-		p.Engine = engine
-		res := RunDelayTrace(p)
-		m := runner.Metrics{}
-		for k, suffix := range classSuffix {
-			m["max_delay_ms_"+suffix] = res.MaxDelay(k).Milliseconds()
-			m["lost_"+suffix] = float64(res.Lost[k])
-		}
-		return m
-	}}
+	d := p
+	d.applyDefaults()
+	return scratchSpec{
+		name: name,
+		desc: fmt.Sprintf("per-packet delay around one handoff: scheme=%s pool=%d alpha=%d arlink=%v",
+			d.Scheme, d.PoolSize, d.Alpha, d.ARLinkDelay),
+		run: func(engine *sim.Engine, seed int64) runner.Metrics {
+			p := p
+			p.Seed = seed
+			p.Engine = engine
+			res := RunDelayTrace(p)
+			m := runner.Metrics{}
+			for k, suffix := range classSuffix {
+				m["max_delay_ms_"+suffix] = res.MaxDelay(k).Milliseconds()
+				m["lost_"+suffix] = float64(res.Lost[k])
+			}
+			return m
+		}}
 }
 
 // TCPTraceSpec wraps a link-layer handoff TCP experiment (Figures
 // 4.12/4.13) as a seedable runner spec.
 func TCPTraceSpec(name string, buffered bool) runner.Spec {
-	return scratchSpec{name: name, run: func(engine *sim.Engine, seed int64) runner.Metrics {
-		res := RunTCPTrace(TCPTraceParams{Buffered: buffered, Seed: seed, Engine: engine})
-		return runner.Metrics{
-			"tcp_timeouts":    float64(res.Timeouts),
-			"stall_ms":        res.StallAfterDetach.Milliseconds(),
-			"delivered_bytes": float64(res.Delivered),
-		}
-	}}
+	mode := "without buffering"
+	if buffered {
+		mode = "link-layer buffering enabled"
+	}
+	return scratchSpec{
+		name: name,
+		desc: "TCP sequence/stall across a link-layer handoff, " + mode,
+		run: func(engine *sim.Engine, seed int64) runner.Metrics {
+			res := RunTCPTrace(TCPTraceParams{Buffered: buffered, Seed: seed, Engine: engine})
+			return runner.Metrics{
+				"tcp_timeouts":    float64(res.Timeouts),
+				"stall_ms":        res.StallAfterDetach.Milliseconds(),
+				"delivered_bytes": float64(res.Delivered),
+			}
+		}}
 }
 
 // BaselineSpec wraps the mobility-management ladder as a seedable runner
 // spec reporting per-rung loss and outage.
 func BaselineSpec() runner.Spec {
-	return scratchSpec{name: "baseline", run: func(engine *sim.Engine, seed int64) runner.Metrics {
-		res := runBaselineLadder(seed, engine)
-		slugs := [4]string{"plain_mip", "hmip", "fh_nobuf", "enhanced"}
-		if len(res.Rows) != len(slugs) {
-			panic(fmt.Sprintf("baseline spec: %d rows, want %d", len(res.Rows), len(slugs)))
-		}
-		m := runner.Metrics{}
-		for i, row := range res.Rows {
-			m["lost_"+slugs[i]] = float64(row.Lost)
-			m["outage_ms_"+slugs[i]] = row.Outage.Milliseconds()
-		}
-		return m
-	}}
+	return scratchSpec{
+		name: "baseline",
+		desc: "mobility-management ladder: plain MIP / HMIP / FH no-buffer / enhanced",
+		run: func(engine *sim.Engine, seed int64) runner.Metrics {
+			res := runBaselineLadder(seed, engine)
+			slugs := [4]string{"plain_mip", "hmip", "fh_nobuf", "enhanced"}
+			if len(res.Rows) != len(slugs) {
+				panic(fmt.Sprintf("baseline spec: %d rows, want %d", len(res.Rows), len(slugs)))
+			}
+			m := runner.Metrics{}
+			for i, row := range res.Rows {
+				m["lost_"+slugs[i]] = float64(row.Lost)
+				m["outage_ms_"+slugs[i]] = row.Outage.Milliseconds()
+			}
+			return m
+		}}
 }
 
 // LatencySpec wraps the handover-latency breakdown as a seedable runner
 // spec reporting the mean component latencies.
 func LatencySpec(handoffs int) runner.Spec {
-	return scratchSpec{name: "latency", run: func(engine *sim.Engine, seed int64) runner.Metrics {
-		res := runLatencyBreakdownEngine(handoffs, seed, engine)
-		return runner.Metrics{
-			"anticipation_ms": res.Anticipation.Mean(),
-			"blackout_ms":     res.Blackout.Mean(),
-			"interruption_ms": res.Interruption.Mean(),
-		}
-	}}
+	return scratchSpec{
+		name: "latency",
+		desc: fmt.Sprintf("handover latency breakdown (anticipation/blackout/interruption, %d handoffs)", handoffs),
+		run: func(engine *sim.Engine, seed int64) runner.Metrics {
+			res := runLatencyBreakdownEngine(handoffs, seed, engine)
+			return runner.Metrics{
+				"anticipation_ms": res.Anticipation.Mean(),
+				"blackout_ms":     res.Blackout.Mean(),
+				"interruption_ms": res.Interruption.Mean(),
+			}
+		}}
 }

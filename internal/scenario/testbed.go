@@ -223,7 +223,10 @@ func NewTestbed(p Params) *Testbed {
 	parRouter.AddPrefixRoute(NetNAR, arLink.A())
 	narRouter.AddPrefixRoute(NetPAR, arLink.B())
 
-	agent := mip.NewAgent(engine, mapRouter, mip.AgentConfig{ManagedNet: NetMAP})
+	agent := mip.NewAgent(engine, mapRouter, mip.AgentConfig{
+		ManagedNet: NetMAP,
+		Alloc:      topo.AllocPacket,
+	})
 
 	var home *mip.Agent
 	if p.HomeAgentDelay > 0 {
@@ -276,7 +279,15 @@ func NewTestbed(p Params) *Testbed {
 			recorder.Dropped(pkt, where)
 			releaseUDPChain(pkt)
 		}
+		// SafetyNet: discarded hold-window copies are dedup events, not
+		// losses — count them and recycle the chain.
+		ar.OnBicastDiscard = func(pkt *inet.Packet) {
+			recorder.DedupDiscardNAR()
+			releaseUDPChain(pkt)
+		}
 	}
+	// Bandwidth-overhead accounting for the anchor's bicast duplicates.
+	agent.OnBicast = func(pkt *inet.Packet) { recorder.BicastDuplicate(pkt) }
 	dataAirDrop := func(pkt *inet.Packet) {
 		if pkt.Innermost().Proto != inet.ProtoControl {
 			recorder.DroppedSite(pkt, stats.SiteAir)
@@ -379,6 +390,14 @@ func (tb *Testbed) AddMobileHost(motion wireless.Motion, flows []FlowSpec) *MHUn
 	mh.ReleaseTunnel = func(outer, inner *inet.Packet) {
 		for p := outer; p != nil && p != inner; p = p.Inner {
 			tb.Topo.ReleasePacket(p)
+		}
+	}
+	mh.OnDuplicate = func(pkt *inet.Packet) {
+		// Redundant bicast copy suppressed by the dedup window (wrappers
+		// already recycled via ReleaseTunnel).
+		tb.Recorder.DedupDiscardMH()
+		if pkt.Proto == inet.ProtoUDP {
+			tb.Topo.ReleasePacket(pkt)
 		}
 	}
 

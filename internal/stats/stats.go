@@ -188,6 +188,13 @@ type Recorder struct {
 	sparse map[inet.FlowID]int32
 	// siteCounts aggregates drops across flows, indexed by DropSite.
 	siteCounts []uint64
+
+	// SafetyNet bandwidth-overhead counters: duplicates the anchor emitted
+	// on wired links, and where the redundant copies were discarded.
+	dupPackets uint64
+	dupBytes   uint64
+	dedupMH    uint64
+	dedupNAR   uint64
 }
 
 // denseLimit bounds the direct-index flow table. Scenario flow IDs are
@@ -339,6 +346,45 @@ func (r *Recorder) SiteDrops() []uint64 {
 	out := make([]uint64, len(r.siteCounts))
 	copy(out, r.siteCounts)
 	return out
+}
+
+// BicastDuplicate records one duplicate the anchor emitted on the wired
+// side under SafetyNet bicast (pkt is the tunnel wrapper; its size counts
+// the header overhead too).
+func (r *Recorder) BicastDuplicate(pkt *inet.Packet) {
+	r.dupPackets++
+	r.dupBytes += uint64(pkt.Size)
+}
+
+// DedupDiscardMH records one redundant bicast copy the mobile host's
+// sequence window suppressed.
+func (r *Recorder) DedupDiscardMH() { r.dedupMH++ }
+
+// DedupDiscardNAR records one held bicast copy the NAR discarded because
+// the selective-delivery report acknowledged it (or its hold window
+// evicted it).
+func (r *Recorder) DedupDiscardNAR() { r.dedupNAR++ }
+
+// DupPackets returns the anchor-emitted duplicate count.
+func (r *Recorder) DupPackets() uint64 { return r.dupPackets }
+
+// DupBytes returns the wire bytes of the anchor-emitted duplicates.
+func (r *Recorder) DupBytes() uint64 { return r.dupBytes }
+
+// DedupDiscardsMH returns the duplicates suppressed at the mobile host.
+func (r *Recorder) DedupDiscardsMH() uint64 { return r.dedupMH }
+
+// DedupDiscardsNAR returns the held copies discarded at the NAR.
+func (r *Recorder) DedupDiscardsNAR() uint64 { return r.dedupNAR }
+
+// OverheadRatio returns the bandwidth overhead of bicast as duplicated
+// packets per application packet sent (zero when nothing was sent).
+func (r *Recorder) OverheadRatio() float64 {
+	sent := r.TotalSent()
+	if sent == 0 {
+		return 0
+	}
+	return float64(r.dupPackets) / float64(sent)
 }
 
 // TotalSent sums sends across flows.
