@@ -57,6 +57,7 @@ func run(args []string, stdout io.Writer) error {
 	jsonOut := fs.String("json", "", "write the replica run's result document to this file ('-': stdout)")
 	specList := fs.String("spec", defaultSpecs, "comma-separated runner specs for -replicas (see -list)")
 	sched := fs.String("sched", "", "event scheduler: heap or calendar (default: heap; results are identical)")
+	shards := fs.Int("shards", 0, "shard count for the city scenario (0: fixed default; results depend on the shard count, never on workers)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := fs.String("trace", "", "write a runtime execution trace to this file")
@@ -70,6 +71,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		sim.SetDefaultScheduler(kind)
 	}
+	scenario.SetDefaultCityShards(*shards)
 	stopProfiles, err := prof.Start(*cpuProfile, *memProfile, *traceOut)
 	if err != nil {
 		return err

@@ -53,8 +53,9 @@ type ARConfig struct {
 	// BicastWindow sizes the NAR-side hold window for SafetyNet bicast
 	// copies, in packets. The window deliberately lives outside the
 	// handover pool (the scheme's whole point is claiming no pool space);
-	// overflow evicts the oldest copy, which is redundant by construction.
-	// Zero selects DefaultBicastWindow. Ignored by the buffering schemes.
+	// overflow degrades to forwarding the evicted oldest copy onward
+	// immediately instead of holding it. Zero selects
+	// DefaultBicastWindow. Ignored by the buffering schemes.
 	BicastWindow int
 }
 
@@ -218,10 +219,13 @@ type AccessRouter struct {
 	authRejects       uint64
 	signalingFailures uint64
 
-	// SafetyNet accounting: copies parked in hold windows, and redundant
-	// copies discarded (report-acknowledged, window-evicted, or expired).
+	// SafetyNet accounting: copies parked in hold windows, redundant
+	// copies discarded (report-acknowledged or expired), and copies
+	// forwarded onward early because the hold window overflowed. Every
+	// parked packet ends up discarded, overflow-forwarded, or drained.
 	bicastHeld      uint64
 	bicastDiscarded uint64
+	bicastForwarded uint64
 
 	// OnDrop observes every packet the engine drops, with the drop site
 	// (DropAtPAR, DropAtNAR, DropPolicy, DropOnLifetime).
@@ -342,8 +346,12 @@ func (ar *AccessRouter) AuthRejects() uint64 { return ar.authRejects }
 func (ar *AccessRouter) BicastHeld() uint64 { return ar.bicastHeld }
 
 // BicastDiscarded counts redundant bicast copies this router disposed of
-// (report-acknowledged, window-evicted, or expired with their session).
+// (report-acknowledged, or expired with their session).
 func (ar *AccessRouter) BicastDiscarded() uint64 { return ar.bicastDiscarded }
+
+// BicastForwarded counts held copies pushed onward early because the hold
+// window overflowed — the degraded-to-forwarding path, never a silent drop.
+func (ar *AccessRouter) BicastForwarded() uint64 { return ar.bicastForwarded }
 
 // SignalingFailures counts acknowledged signaling exchanges this router
 // gave up on after exhausting their retransmission budget (an HI whose
@@ -1006,9 +1014,12 @@ func (ar *AccessRouter) handleBF(in *netsim.Iface, msg *fho.BF) {
 // whose chain the eventual receiver recycles whole) in the session's
 // hold window. The window is allocated lazily from the buffer free list
 // and never touches the pool accounting — under SafetyNet the router
-// grants nothing, so exhaustion cannot occur. Overflow evicts the oldest
-// copy, which is redundant by construction (its twin went down the other
-// leg of the bicast), so eviction is a dedup event, not a drop.
+// grants nothing, so exhaustion cannot occur. Overflow degrades to
+// forwarding: the evicted oldest copy is the only one the NAR holds (the
+// arrival dedup above parks each sequence at most once), so it is pushed
+// onward toward the host immediately rather than silently discarded —
+// if the host is already attached it is delivered; mid-blackout it
+// becomes a visible air/route drop, never an unaccounted loss.
 func (ar *AccessRouter) holdBicast(s *session, pkt *inet.Packet) {
 	inner := pkt.Innermost()
 	if inner.Flow != 0 && !observeFlowSeq(&s.holdSeen, inner.Flow, inner.Seq) {
@@ -1019,9 +1030,17 @@ func (ar *AccessRouter) holdBicast(s *session, pkt *inet.Packet) {
 		s.buf = ar.bufFree.Get(ar.cfg.BicastWindow, 0)
 	}
 	ar.bicastHeld++
-	if evicted, reason := s.buf.PushDropHead(pkt); reason == buffer.DropHead {
-		ar.discardDup(evicted)
+	// The hold window is FIFO parking, not the thesis' class-aware
+	// handover buffer: overflow pops the oldest copy of *any* class.
+	// (PushDropHead would evict only real-time packets and silently drop
+	// the incoming copy when the window held none.)
+	if s.buf.Full() {
+		if evicted := s.buf.Pop(); evicted != nil {
+			ar.bicastForwarded++
+			ar.drainSend(evicted, inet.Addr{})
+		}
 	}
+	s.buf.Push(pkt)
 }
 
 // discardDup disposes one redundant bicast copy: counted as dedup, never
@@ -1052,12 +1071,14 @@ func (ar *AccessRouter) drainSelective(s *session, report []fho.FlowSeq) {
 
 // reportCovers reports whether the selective-delivery report acknowledges
 // the packet: its flow has an entry whose cumulative ack reaches the
-// packet's sequence number. Reports carry one entry per application flow,
-// so a linear scan beats any indexed structure.
+// packet's sequence number, compared with the same serial arithmetic the
+// dedup window uses so coverage stays correct across a 2^32 sequence
+// wrap. Reports carry one entry per application flow, so a linear scan
+// beats any indexed structure.
 func reportCovers(report []fho.FlowSeq, pkt *inet.Packet) bool {
 	for _, e := range report {
 		if inet.FlowID(e.Flow) == pkt.Flow {
-			return pkt.Seq <= e.Ack
+			return !seqNewer(pkt.Seq, e.Ack)
 		}
 	}
 	return false

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/fho"
 	"repro/internal/inet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
 )
 
 // TestDedupWindowExactlyOnceUnderReordering is the SafetyNet receive-side
@@ -120,5 +122,200 @@ func TestMHReportAcksContiguousPrefixOnly(t *testing.T) {
 	}
 	if probe(3, 0) {
 		t.Error("unreported flow must never be covered")
+	}
+}
+
+// TestDedupWindowWrapAround pins the serial-arithmetic contract: a
+// long-lived flow whose 32-bit sequence space wraps past 2^32 keeps
+// exactly-once semantics and a monotonic (mod 2^32) contiguity frontier.
+// Before the fix, the plain `seq > maxSeq` comparison made every pre-wrap
+// duplicate look "new" again once maxSeq wrapped to small values.
+func TestDedupWindowWrapAround(t *testing.T) {
+	const start = uint32(0xFFFFFFF0) // 16 sequences before the wrap
+	// A flow mid-life: everything below start already delivered.
+	w := dedupWindow{seen: true, maxSeq: start - 1, mask: ^uint64(0), nextContig: start, acked: true}
+
+	// 100 fresh sequences crossing the wrap, each delivered twice in a
+	// seeded bounded-reorder (bicast twin racing the primary; displacement
+	// stays inside the 64-deep mask so freshness expectations are exact).
+	const n = 100
+	rng := rand.New(rand.NewSource(5))
+	arrivals := make([]uint32, 0, 2*n)
+	for i := uint32(0); i < n; i++ {
+		arrivals = append(arrivals, start+i, start+i)
+	}
+	for i := range arrivals {
+		j := i + rng.Intn(16)
+		if j >= len(arrivals) {
+			j = len(arrivals) - 1
+		}
+		arrivals[i], arrivals[j] = arrivals[j], arrivals[i]
+	}
+	fresh := make(map[uint32]int, n)
+	for _, seq := range arrivals {
+		if w.observe(seq) {
+			fresh[seq]++
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		if fresh[start+i] != 1 {
+			t.Fatalf("seq %#x delivered %d times across the wrap, want exactly once",
+				start+i, fresh[start+i])
+		}
+	}
+	want := uint32(start)
+	want += n // wraps to 0x54
+	if w.nextContig != want {
+		t.Fatalf("frontier = %#x after wrap, want %#x", w.nextContig, want)
+	}
+	// Pre-wrap sequences stay suppressed even though maxSeq is now small.
+	if w.observe(start - 5) {
+		t.Error("stale pre-wrap sequence resurrected as fresh after the wrap")
+	}
+}
+
+// TestMHReportAcksAcrossWrap drives a flow's frontier exactly onto 0 (one
+// full trip around the sequence space) and checks the report still carries
+// the flow — ack 2^32-1 — with serial coverage on both sides.
+func TestMHReportAcksAcrossWrap(t *testing.T) {
+	const start = uint32(0xFFFFFFC0) // 64 before the wrap
+	w := dedupWindow{seen: true, maxSeq: start - 1, mask: ^uint64(0), nextContig: start, acked: true}
+	for i := uint32(0); i < 64; i++ {
+		if !w.observe(start + i) {
+			t.Fatalf("seq %#x suppressed", start+i)
+		}
+	}
+	if w.nextContig != 0 {
+		t.Fatalf("frontier = %#x, want exactly 0 (wrapped)", w.nextContig)
+	}
+	mh := &MobileHost{flowSeen: []flowDedup{{flow: 1, win: w}}}
+	report := mh.buildReport()
+	if len(report) != 1 || report[0].Ack != ^uint32(0) {
+		t.Fatalf("report = %v, want flow 1 acked at 2^32-1", report)
+	}
+	if !reportCovers(report, &inet.Packet{Flow: 1, Seq: ^uint32(0)}) {
+		t.Error("last pre-wrap sequence not covered")
+	}
+	if reportCovers(report, &inet.Packet{Flow: 1, Seq: 0}) {
+		t.Error("first post-wrap sequence wrongly covered")
+	}
+}
+
+// newBareNAR builds a minimal SafetyNet access router whose forwarding
+// plane delivers net-3 traffic to a counting host, for driving the NAR
+// hold window directly.
+func newBareNAR(t *testing.T) (*AccessRouter, *sim.Engine, *int) {
+	t.Helper()
+	engine := sim.NewEngine()
+	topo := netsim.NewTopology(engine)
+	router := netsim.NewRouter("nar", inet.Addr{Net: 3, Host: 1})
+	sink := netsim.NewHost("sink", inet.Addr{Net: 3, Host: 7})
+	topo.Connect(router, sink, netsim.LinkConfig{Delay: sim.Millisecond})
+	delivered := new(int)
+	sink.Receive = func(pkt *inet.Packet) { *delivered++ }
+	ar := NewAccessRouter(engine, router, 3, NewDirectory(), ARConfig{Scheme: SchemeSafetyNet})
+	router.AddPrefixRoute(3, router.Ifaces()[0])
+	return ar, engine, delivered
+}
+
+// TestSessionRecycleZeroesHoldWindows asserts the free-list contract the
+// dedup state depends on: a recycled session's next incarnation must see
+// fully zeroed per-flow windows, so sequences from the new handoff are
+// never suppressed by (or merged into) the previous host's state.
+func TestSessionRecycleZeroesHoldWindows(t *testing.T) {
+	ar, _, _ := newBareNAR(t)
+	s := ar.newSession()
+	for seq := uint32(0); seq < 40; seq++ {
+		observeFlowSeq(&s.holdSeen, 9, seq)
+	}
+	if len(s.holdSeen) != 1 || s.holdSeen[0].win.nextContig != 40 {
+		t.Fatalf("precondition: holdSeen = %+v", s.holdSeen)
+	}
+	ar.freeSession(s)
+	s2 := ar.newSession()
+	if s2 != s {
+		t.Fatal("free list did not recycle the session object")
+	}
+	if len(s2.holdSeen) != 0 {
+		t.Fatalf("recycled session carries %d stale flow windows", len(s2.holdSeen))
+	}
+	// A sequence the previous incarnation saw must be fresh again, into a
+	// fully zeroed window.
+	if !observeFlowSeq(&s2.holdSeen, 9, 0) {
+		t.Fatal("stale window suppressed the new incarnation's first packet")
+	}
+	w := s2.holdSeen[0].win
+	if w.maxSeq != 0 || w.mask != 1 || w.nextContig != 1 || !w.acked {
+		t.Fatalf("recycled window not rebuilt from zero: %+v", w)
+	}
+}
+
+// TestHoldWindowOverflowDegradesToForwarding floods a NAR hold window
+// with more distinct sequences than DefaultBicastWindow, each arriving
+// twice in a seeded shuffled order. Every eviction must degrade to
+// forwarding (the evicted packet is the only parked copy, so discarding
+// it would be silent loss), the second copies must be discarded as
+// duplicates, and held = forwarded + discarded-evictions + still-held
+// must balance.
+func TestHoldWindowOverflowDegradesToForwarding(t *testing.T) {
+	ar, engine, delivered := newBareNAR(t)
+	drops := 0
+	ar.OnDrop = func(pkt *inet.Packet, where string) { drops++ }
+	discards := 0
+	ar.OnBicastDiscard = func(pkt *inet.Packet) { discards++ }
+
+	const distinct = DefaultBicastWindow + 32
+	rng := rand.New(rand.NewSource(11))
+	arrivals := make([]uint32, 0, 2*distinct)
+	for seq := uint32(0); seq < distinct; seq++ {
+		arrivals = append(arrivals, seq, seq)
+	}
+	// Seeded bounded reorder: displacement stays far inside the 64-deep
+	// dedup mask, so every first copy is still recognisably fresh and the
+	// expected counts below are exact.
+	for i := range arrivals {
+		j := i + rng.Intn(16)
+		if j >= len(arrivals) {
+			j = len(arrivals) - 1
+		}
+		arrivals[i], arrivals[j] = arrivals[j], arrivals[i]
+	}
+
+	s := ar.newSession()
+	s.role = roleNAR
+	for _, seq := range arrivals {
+		ar.holdBicast(s, &inet.Packet{
+			Dst: inet.Addr{Net: 3, Host: 7}, Proto: inet.ProtoUDP,
+			Flow: 1, Seq: seq, Size: 160,
+		})
+	}
+	if err := engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+
+	if got := ar.BicastHeld(); got != distinct {
+		t.Errorf("BicastHeld = %d, want %d (each distinct seq parked once)", got, distinct)
+	}
+	if got := ar.BicastForwarded(); got != distinct-DefaultBicastWindow {
+		t.Errorf("BicastForwarded = %d, want %d overflow evictions", got, distinct-DefaultBicastWindow)
+	}
+	if *delivered != distinct-DefaultBicastWindow {
+		t.Errorf("%d evicted packets delivered, want %d — eviction must forward, not drop",
+			*delivered, distinct-DefaultBicastWindow)
+	}
+	// The duplicate arrivals (one per distinct seq, including seqs whose
+	// first copy was already evicted) are dedup discards, not losses.
+	if got := ar.BicastDiscarded(); got != distinct || discards != int(distinct) {
+		t.Errorf("BicastDiscarded = %d (hook %d), want %d duplicate arrivals", got, discards, distinct)
+	}
+	if drops != 0 {
+		t.Errorf("OnDrop fired %d times; overflow must never be charged as loss", drops)
+	}
+	// Conservation: everything parked is still held or was forwarded.
+	if held := s.buf.Len(); uint64(held)+ar.BicastForwarded() != ar.BicastHeld() {
+		t.Errorf("held %d + forwarded %d != parked %d", held, ar.BicastForwarded(), ar.BicastHeld())
+	}
+	if s.buf.Len() != DefaultBicastWindow {
+		t.Errorf("window holds %d, want full %d", s.buf.Len(), DefaultBicastWindow)
 	}
 }

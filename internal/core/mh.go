@@ -528,16 +528,35 @@ type flowDedup struct {
 // dedupWindow is an anti-replay-style sliding sequence window: a 64-deep
 // bitmask below the highest sequence seen, plus the cumulative
 // contiguity frontier the selective-delivery report is built from.
+//
+// Sequence numbers are compared with RFC 1982-style serial arithmetic
+// (seqNewer), so the window keeps working when a flow's 32-bit sequence
+// space wraps past 2^32: "newer" means within the forward half-space.
+// A regression deeper than the 64-entry mask (including a flow restart at
+// seq 0 against a frontier far from the wrap point) is conservatively
+// treated as already seen — stale state must never resurrect packets, and
+// recycled windows are zeroed instead (see AccessRouter.freeSession).
 type dedupWindow struct {
 	seen   bool
 	maxSeq uint32
 	// mask bit i records whether maxSeq-i was received.
 	mask uint64
 	// nextContig is the lowest sequence number not yet known-delivered:
-	// every seq below it was received, so the report can safely ack
-	// nextContig-1 and nothing above.
+	// every seq serially below it was received, so the report can safely
+	// ack nextContig-1 and nothing above.
 	nextContig uint32
+	// acked records whether the frontier ever moved. It distinguishes the
+	// empty frontier (nextContig still at its zero start) from a frontier
+	// that advanced all the way around the sequence space back to 0.
+	acked bool
 }
+
+// seqNewer reports whether a is serially newer than b: a is within the
+// forward half of the 32-bit sequence space relative to b. This is the
+// RFC 1982 comparison specialised to uint32, correct across wraparound
+// for any real flow (in-flight reordering is bounded by the bicast hold
+// window, far inside the 2^31 half-space).
+func seqNewer(a, b uint32) bool { return int32(a-b) > 0 }
 
 // observe records one received sequence number and reports whether it is
 // fresh (first delivery). Sequences older than the 64-entry window are
@@ -551,7 +570,7 @@ func (w *dedupWindow) observe(seq uint32) bool {
 		w.advance()
 		return true
 	}
-	if seq > w.maxSeq {
+	if seqNewer(seq, w.maxSeq) {
 		shift := seq - w.maxSeq
 		if shift >= 64 {
 			w.mask = 1
@@ -576,12 +595,13 @@ func (w *dedupWindow) observe(seq uint32) bool {
 
 // advance pushes the contiguity frontier over every newly filled bit.
 func (w *dedupWindow) advance() {
-	for w.nextContig <= w.maxSeq {
+	for !seqNewer(w.nextContig, w.maxSeq) {
 		off := w.maxSeq - w.nextContig
 		if off >= 64 || w.mask&(1<<off) == 0 {
 			return
 		}
 		w.nextContig++
+		w.acked = true
 	}
 }
 
@@ -617,9 +637,12 @@ func (mh *MobileHost) buildReport() []fho.FlowSeq {
 	var report []fho.FlowSeq
 	for i := range mh.flowSeen {
 		f := &mh.flowSeen[i]
-		if f.win.nextContig == 0 {
+		if !f.win.acked {
 			continue
 		}
+		// nextContig-1 is correct across wraparound too: a frontier that
+		// advanced all the way back to 0 acks 2^32-1, which reportCovers
+		// compares serially.
 		report = append(report, fho.FlowSeq{Flow: uint32(f.flow), Ack: f.win.nextContig - 1})
 	}
 	return report

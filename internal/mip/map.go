@@ -195,10 +195,17 @@ func (a *Agent) localDeliver(in *netsim.Iface, pkt *inet.Packet) bool {
 		a.router.Forward(ack)
 		return true
 	case *BicastRequest:
+		// Bicast lifetimes honour the same cap as binding grants: a host
+		// must not be able to keep the anchor duplicating longer than it
+		// could keep a binding alive.
+		granted := msg.Lifetime
+		if a.cfg.MaxLifetime > 0 && granted > a.cfg.MaxLifetime {
+			granted = a.cfg.MaxLifetime
+		}
 		if a.bicast == nil {
 			a.bicast = make(map[inet.Addr]bicastEntry)
 		}
-		a.bicast[msg.Key] = bicastEntry{ncoa: msg.NCoA, expire: a.engine.Now() + msg.Lifetime}
+		a.bicast[msg.Key] = bicastEntry{ncoa: msg.NCoA, expire: a.engine.Now() + granted}
 		return true
 	}
 	return false // not ours; router handles tunnels etc.

@@ -151,6 +151,32 @@ func TestAgentGrantsCappedLifetime(t *testing.T) {
 	}
 }
 
+func TestAgentCapsBicastLifetime(t *testing.T) {
+	// A bicast request must respect the same MaxLifetime cap as binding
+	// grants: a host asking for an hour of duplication against a 10 s cap
+	// gets 10 s, not an effectively unbounded entry.
+	w := newMAPTopology(t)
+	w.agent.cfg.MaxLifetime = 10 * sim.Second
+	ncoa := inet.Addr{Net: 3, Host: 7}
+	w.mh.Send(&inet.Packet{
+		Src: w.mh.Addr(), Dst: w.agent.Router().Addr(),
+		Proto: inet.ProtoControl, Size: BicastRequestSize,
+		Payload: &BicastRequest{Key: w.rcoa, NCoA: ncoa, Lifetime: 3600 * sim.Second},
+	})
+	if err := w.engine.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !w.agent.BicastActive(w.rcoa) {
+		t.Fatal("bicast entry not installed")
+	}
+	if err := w.engine.Run(w.engine.Now() + 10*sim.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if w.agent.BicastActive(w.rcoa) {
+		t.Fatal("bicast entry outlived the MaxLifetime cap")
+	}
+}
+
 func TestAgentDeregistration(t *testing.T) {
 	w := newMAPTopology(t)
 	w.agent.Register(w.rcoa, w.mh.Addr(), 100*sim.Second)

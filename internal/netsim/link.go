@@ -70,6 +70,12 @@ type Iface struct {
 	txDoneFn  sim.Handler
 	deliverFn sim.Handler
 
+	// xport, when non-nil, marks this direction as crossing a shard
+	// boundary: finished transmissions park in the port's outbox for the
+	// next barrier flush instead of scheduling a same-engine delivery.
+	// See ShardExchange.
+	xport *xPort
+
 	// DropHook, if set, observes every tail drop on this interface.
 	DropHook func(pkt *inet.Packet)
 	// Impair, if set, is consulted before each transmission; returning
@@ -155,8 +161,12 @@ func (i *Iface) transmit(pkt *inet.Packet) {
 // propagation FIFO and the next queued packet starts transmitting.
 func (i *Iface) txDone() {
 	i.sent++
-	i.inflight = append(i.inflight, i.txPkt)
-	i.engine.Schedule(i.link.cfg.Delay, i.deliverFn)
+	if i.xport != nil {
+		i.xport.outbox = append(i.xport.outbox, xEntry{at: i.engine.Now() + i.link.cfg.Delay, pkt: i.txPkt})
+	} else {
+		i.inflight = append(i.inflight, i.txPkt)
+		i.engine.Schedule(i.link.cfg.Delay, i.deliverFn)
+	}
 	if len(i.queue) > 0 {
 		next := i.queue[0]
 		copy(i.queue, i.queue[1:])

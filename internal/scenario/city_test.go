@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// cityTestParams is a reduced city that still exercises every moving part:
+// multiple domains per shard, both region MAPs, co-located and cross-shard
+// MAP links, and a full handoff per host.
+func cityTestParams() CityParams {
+	return CityParams{
+		Domains:        4,
+		HostsPerDomain: 25,
+		MAPs:           2,
+		StaggerWindow:  5 * sim.Second,
+		Seed:           7,
+	}
+}
+
+// cityBytes renders the deterministic output (summary + CSV) of a run.
+func cityBytes(t *testing.T, res CityResult) string {
+	t.Helper()
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return res.Render() + csv.String()
+}
+
+func TestCityOneShardIsSerialEngine(t *testing.T) {
+	// The differential golden check: a 1-shard partition must be the
+	// serial engine, byte for byte. Structurally (no mailbox ports exist,
+	// so every link is a plain same-engine link) and observably (stepping
+	// through the shard group produces the identical output to stepping
+	// the engine directly).
+	p := cityTestParams()
+	p.Shards = 1
+	p.Workers = 1
+	viaGroup := RunCity(p)
+	if viaGroup.CrossPorts != 0 {
+		t.Fatalf("1-shard city registered %d mailbox ports, want 0 (must be the serial engine)", viaGroup.CrossPorts)
+	}
+	serial := p
+	serial.forceSerial = true
+	viaSerial := RunCity(serial)
+	got, want := cityBytes(t, viaGroup), cityBytes(t, viaSerial)
+	if got != want {
+		t.Fatalf("1-shard group run diverged from the serial engine:\n--- group ---\n%s\n--- serial ---\n%s", got, want)
+	}
+}
+
+func TestCityDeterministicAcrossWorkers(t *testing.T) {
+	// For a fixed shard count the output must be byte-identical at any
+	// worker count: shards are isolated within an epoch and the exchange
+	// runs single-threaded in fixed port order, so shard-to-worker
+	// assignment cannot leak into results.
+	p := cityTestParams()
+	p.Shards = 4
+	run := func(workers int) string {
+		q := p
+		q.Workers = workers
+		return cityBytes(t, RunCity(q))
+	}
+	ref := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); got != ref {
+			t.Fatalf("city output diverged between 1 and %d workers:\n--- %d workers ---\n%s\n--- 1 worker ---\n%s",
+				workers, workers, got, ref)
+		}
+	}
+}
+
+func TestCityRepeatableAcrossRuns(t *testing.T) {
+	// Same parameters, fresh build: byte-identical, for every shard count
+	// (each partition is deterministic; partitions differ from each other
+	// only in same-instant tie-breaks).
+	for _, shards := range []int{1, 3, 8} {
+		p := cityTestParams()
+		p.Shards = shards
+		p.Workers = 4
+		a := cityBytes(t, RunCity(p))
+		b := cityBytes(t, RunCity(p))
+		if a != b {
+			t.Fatalf("shards=%d: two identical runs diverged:\n%s\n---\n%s", shards, a, b)
+		}
+	}
+}
+
+func TestCityCompletesEveryHandoff(t *testing.T) {
+	p := cityTestParams()
+	p.Shards = 3
+	p.Workers = 4
+	res := RunCity(p)
+	want := p.Domains * p.HostsPerDomain
+	if res.Handoffs != want {
+		t.Fatalf("handoffs = %d, want %d (one per host)", res.Handoffs, want)
+	}
+	if res.SessionsLeft != 0 {
+		t.Fatalf("%d handoff sessions leaked past the drain", res.SessionsLeft)
+	}
+	if res.TotalSent == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	lost := res.Lost[0] + res.Lost[1] + res.Lost[2]
+	if lost*10 > res.TotalSent {
+		t.Fatalf("lost %d of %d packets — the city should lose well under 10%%", lost, res.TotalSent)
+	}
+	// The enhanced scheme's whole point: real-time traffic fares no worse
+	// than best-effort under buffer pressure.
+	if res.Lost[0] > res.Lost[2] {
+		t.Fatalf("real-time lost more than best-effort (%d > %d)", res.Lost[0], res.Lost[2])
+	}
+	if res.Events == 0 || res.CrossPorts == 0 {
+		t.Fatalf("events=%d crossPorts=%d — sharded run should report both", res.Events, res.CrossPorts)
+	}
+}
+
+func TestCityAssignDeterministicAndBalanced(t *testing.T) {
+	mapShard, domShard := cityAssign(2, 50, 8)
+	mapShard2, domShard2 := cityAssign(2, 50, 8)
+	for i := range mapShard {
+		if mapShard[i] != mapShard2[i] {
+			t.Fatal("cityAssign is not deterministic")
+		}
+	}
+	load := make([]int, 8)
+	for i := range domShard {
+		if domShard[i] != domShard2[i] {
+			t.Fatal("cityAssign is not deterministic")
+		}
+		load[domShard[i]]++
+	}
+	min, max := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// 50 domains + 2 MAP units over 8 shards: greedy LPT keeps the spread
+	// within one MAP-weight of even.
+	if max-min > 13 {
+		t.Fatalf("domain load spread %v too uneven", load)
+	}
+}
+
+// benchCityParams is the CI speedup benchmark's workload: big enough that
+// the barrier cost is amortized, small enough for -benchtime 1x on CI.
+func benchCityParams(shards, workers int) CityParams {
+	return CityParams{
+		Domains:        8,
+		HostsPerDomain: 150,
+		MAPs:           2,
+		Shards:         shards,
+		Workers:        workers,
+		StaggerWindow:  5 * sim.Second,
+		Seed:           3,
+	}
+}
+
+// BenchmarkCityShardedSpeedup measures the same city serial and sharded;
+// the CI gate pins both, and their ratio is the parallel speedup.
+func BenchmarkCityShardedSpeedup(b *testing.B) {
+	for _, cfg := range []struct {
+		name            string
+		shards, workers int
+	}{
+		{"shards1", 1, 1},
+		{"shards8", 8, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := RunCity(benchCityParams(cfg.shards, cfg.workers))
+				if res.Handoffs == 0 {
+					b.Fatal("no handoffs")
+				}
+			}
+		})
+	}
+}

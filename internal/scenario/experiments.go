@@ -160,6 +160,11 @@ func Experiments() []Experiment {
 				})
 			},
 		},
+		{
+			ID:        "city",
+			Title:     "Sharded city-scale handoff wave: 50 AR domains, 100k hosts, parallel shards",
+			RunSeeded: func(seed int64) Renderer { return RunCity(CityParams{Seed: seed}) },
+		},
 	}
 	for i := range exps {
 		runSeeded := exps[i].RunSeeded

@@ -77,6 +77,7 @@ func Specs() []runner.Spec {
 		// from the related SafetyNet work, not the thesis).
 		DropTraceSpec("drop-sfn", DropTraceParams{Scheme: core.SchemeSafetyNet, PoolSize: 40, Handoffs: 100}),
 		DelayTraceSpec("delay-sfn", DelayTraceParams{Scheme: core.SchemeSafetyNet, PoolSize: 40}),
+		CitySpec(CityParams{}),
 	}
 }
 

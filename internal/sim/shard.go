@@ -1,0 +1,197 @@
+package sim
+
+import "sync"
+
+// ShardGroup advances several independent engines under a conservative
+// epoch-barrier protocol (null-message-free CMB). The caller partitions the
+// model so each engine owns a shard and every cross-shard interaction takes
+// at least `lookahead` of virtual time to arrive (for a network simulation:
+// the minimum delay of any link whose endpoints live on different shards).
+//
+// Each epoch the group computes T, the earliest pending instant across all
+// shards, and runs every engine to T+lookahead-1 in parallel: any event a
+// shard fires inside the epoch can only produce cross-shard effects at or
+// after T+lookahead, which is outside the epoch, so shards never see each
+// other mid-epoch. Between epochs the group calls the exchange callback
+// (single-threaded) to move buffered cross-shard traffic into the receiving
+// engines' queues.
+//
+// Determinism: for a fixed shard partition the results are byte-identical
+// regardless of worker count or which worker runs which shard, because
+// shards are mutually isolated inside an epoch and the exchange runs alone
+// in a fixed order at the barrier.
+type ShardGroup struct {
+	engines   []*Engine
+	lookahead Time
+	workers   int
+	// exchange flushes cross-shard traffic buffered during the last epoch
+	// into the receiving engines. It runs single-threaded, with every
+	// engine parked at the barrier.
+	exchange func()
+
+	// errs collects per-engine Run results for one epoch (reused across
+	// epochs so the barrier loop stays allocation-free).
+	errs []error
+}
+
+// NewShardGroup builds a group over the given engines. lookahead is the
+// minimum cross-shard latency; values below 1 are clamped to 1 (epochs of a
+// single instant — always safe, never fast). workers caps the goroutines
+// running engines concurrently; values below 1 or above len(engines) are
+// clamped.
+func NewShardGroup(engines []*Engine, lookahead Time, workers int) *ShardGroup {
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	return &ShardGroup{
+		engines:   engines,
+		lookahead: lookahead,
+		workers:   workers,
+		errs:      make([]error, len(engines)),
+	}
+}
+
+// SetExchange installs the barrier callback that migrates buffered
+// cross-shard traffic. It must be set before Run when any two shards are
+// connected; a nil exchange is valid for fully independent shards.
+func (g *ShardGroup) SetExchange(fn func()) { g.exchange = fn }
+
+// Engines returns the group's engines in shard order.
+func (g *ShardGroup) Engines() []*Engine { return g.engines }
+
+// Lookahead returns the epoch width.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Now returns the least-advanced shard clock (the group's committed time).
+func (g *ShardGroup) Now() Time {
+	if len(g.engines) == 0 {
+		return 0
+	}
+	now := g.engines[0].Now()
+	for _, e := range g.engines[1:] {
+		if t := e.Now(); t < now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Run processes events on every shard until all queues drain or every clock
+// would pass the horizon, exactly like Engine.Run but across the group.
+// Events scheduled exactly at the horizon still fire. The first non-nil
+// engine error (in shard order) is returned; remaining shards still finish
+// the epoch in which it occurred, so the group is never left mid-barrier.
+func (g *ShardGroup) Run(until Time) error {
+	if len(g.engines) == 0 {
+		return nil
+	}
+	if len(g.engines) == 1 {
+		// Single shard: plain serial execution. The exchange still runs so
+		// a degenerate one-shard partition with registered ports behaves.
+		if g.exchange != nil {
+			g.exchange()
+		}
+		return g.engines[0].Run(until)
+	}
+
+	stop, jobs, wg := g.startWorkers()
+	if stop != nil {
+		defer close(stop)
+	}
+
+	for {
+		if g.exchange != nil {
+			g.exchange()
+		}
+		var t Time
+		have := false
+		for _, e := range g.engines {
+			if at, ok := e.NextAt(); ok && (!have || at < t) {
+				t, have = at, true
+			}
+		}
+		if !have || t > until {
+			break
+		}
+		end := t + g.lookahead - 1
+		if end > until || end < t { // clamp, and guard Time overflow
+			end = until
+		}
+		g.runEpoch(end, jobs, wg)
+		for _, err := range g.errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	// Horizon reached (or queues drained): advance every clock to the
+	// horizon so Now() reflects progress, mirroring Engine.Run.
+	if until != MaxTime {
+		for _, e := range g.engines {
+			if e.Now() < until {
+				if err := e.Run(until); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunAll processes events until every shard's queue drains.
+func (g *ShardGroup) RunAll() error { return g.Run(MaxTime) }
+
+// epochJob carries one shard's work order for the current epoch.
+type epochJob struct {
+	idx int
+	end Time
+}
+
+// startWorkers spins up the persistent worker goroutines used by runEpoch.
+// With one worker it returns nils and runEpoch executes inline.
+func (g *ShardGroup) startWorkers() (chan struct{}, chan epochJob, *sync.WaitGroup) {
+	if g.workers <= 1 {
+		return nil, nil, nil
+	}
+	stop := make(chan struct{})
+	jobs := make(chan epochJob)
+	wg := new(sync.WaitGroup)
+	for w := 0; w < g.workers; w++ {
+		go func() {
+			for {
+				select {
+				case j := <-jobs:
+					g.errs[j.idx] = g.engines[j.idx].Run(j.end)
+					wg.Done()
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	return stop, jobs, wg
+}
+
+// runEpoch runs every engine to end, in parallel when workers were started.
+// Which worker runs which shard is arbitrary and immaterial: shards are
+// isolated for the duration of the epoch.
+func (g *ShardGroup) runEpoch(end Time, jobs chan epochJob, wg *sync.WaitGroup) {
+	if jobs == nil {
+		for i, e := range g.engines {
+			g.errs[i] = e.Run(end)
+		}
+		return
+	}
+	wg.Add(len(g.engines))
+	for i := range g.engines {
+		jobs <- epochJob{idx: i, end: end}
+	}
+	wg.Wait()
+}

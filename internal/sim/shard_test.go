@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNextAtSkipsCancelledHeads(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt on empty engine reported an event")
+	}
+	first := e.At(5, func() {})
+	e.At(9, func() {})
+	if at, ok := e.NextAt(); !ok || at != 5 {
+		t.Fatalf("NextAt = %v/%t, want 5/true", at, ok)
+	}
+	e.Cancel(first)
+	if at, ok := e.NextAt(); !ok || at != 9 {
+		t.Fatalf("NextAt after cancel = %v/%t, want 9/true", at, ok)
+	}
+	// The cancelled head was collected, not merely skipped.
+	if e.sched.size() != 1 {
+		t.Fatalf("queue size = %d, want 1 (cancelled head recycled)", e.sched.size())
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt after drain reported an event")
+	}
+}
+
+// tickTrace schedules a self-rechaining tick on an engine and records each
+// firing as "instant@engine" so runs can be compared byte-for-byte.
+func tickTrace(e *Engine, name string, period, stop Time, out *[]string) {
+	var tick func()
+	tick = func() {
+		*out = append(*out, fmt.Sprintf("%d@%s", e.Now(), name))
+		if e.Now()+period <= stop {
+			e.Schedule(period, tick)
+		}
+	}
+	e.At(0, tick)
+}
+
+func shardedTickTrace(t *testing.T, workers int) [][]string {
+	t.Helper()
+	engines := []*Engine{NewEngine(), NewEngine(), NewCalendarEngine()}
+	traces := make([][]string, len(engines))
+	periods := []Time{7, 11, 13}
+	for i, e := range engines {
+		tickTrace(e, fmt.Sprintf("s%d", i), periods[i], 500, &traces[i])
+	}
+	g := NewShardGroup(engines, 10, workers)
+	if err := g.Run(500); err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	for _, e := range engines {
+		if e.Now() != 500 {
+			t.Fatalf("shard clock = %v, want 500", e.Now())
+		}
+	}
+	return traces
+}
+
+func TestShardGroupIndependentOfWorkerCount(t *testing.T) {
+	// Independent shards (no exchange): every worker count must produce the
+	// identical per-shard firing trace, and that trace must equal running
+	// each engine alone.
+	ref := shardedTickTrace(t, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := shardedTickTrace(t, workers)
+		for i := range ref {
+			if fmt.Sprint(got[i]) != fmt.Sprint(ref[i]) {
+				t.Fatalf("workers=%d shard %d trace diverged:\n got %v\nwant %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+	var solo []string
+	e := NewEngine()
+	tickTrace(e, "s0", 7, 500, &solo)
+	if err := e.Run(500); err != nil {
+		t.Fatalf("solo Run: %v", err)
+	}
+	if fmt.Sprint(solo) != fmt.Sprint(ref[0]) {
+		t.Fatalf("sharded shard 0 diverged from solo engine:\n got %v\nwant %v", ref[0], solo)
+	}
+}
+
+func TestShardGroupExchangeRespectsLookahead(t *testing.T) {
+	// Shard 0 emits a message every 10 units; the exchange migrates each
+	// into shard 1 with +lookahead latency. The conservative protocol must
+	// deliver every message at exactly its arrival instant.
+	const lookahead = Time(10)
+	a, b := NewEngine(), NewEngine()
+
+	type msg struct {
+		at Time
+	}
+	var outbox []msg
+	var arrivals []Time
+
+	var emit func()
+	emit = func() {
+		outbox = append(outbox, msg{at: a.Now() + lookahead})
+		if a.Now() < 200 {
+			a.Schedule(10, emit)
+		}
+	}
+	a.At(0, emit)
+
+	exchange := func() {
+		for _, m := range outbox {
+			at := m.at
+			b.At(at, func() {
+				if b.Now() != at {
+					t.Errorf("arrival fired at %v, want %v", b.Now(), at)
+				}
+				arrivals = append(arrivals, b.Now())
+			})
+		}
+		outbox = outbox[:0]
+	}
+
+	g := NewShardGroup([]*Engine{a, b}, lookahead, 2)
+	g.SetExchange(exchange)
+	if err := g.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(arrivals) != 21 {
+		t.Fatalf("arrivals = %d, want 21", len(arrivals))
+	}
+	for i, at := range arrivals {
+		if want := Time(10*i) + lookahead; at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestShardGroupStopPropagates(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	fired := 0
+	b.At(5, func() { fired++ })
+	a.At(1, func() { a.Stop() })
+	a.At(50, func() { fired++ })
+	g := NewShardGroup([]*Engine{a, b}, 10, 2)
+	if err := g.Run(100); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	// The epoch containing the stop still completes on the other shard.
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (b's event ran, a's later event did not)", fired)
+	}
+}
+
+func TestShardGroupHorizonAdvancesIdleClocks(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	a.At(3, func() {})
+	g := NewShardGroup([]*Engine{a, b}, 5, 1)
+	if err := g.Run(40); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Now() != 40 || b.Now() != 40 {
+		t.Fatalf("clocks = %v/%v, want 40/40", a.Now(), b.Now())
+	}
+	// Events beyond the horizon stay queued for a later Run.
+	ran := false
+	a.At(60, func() { ran = true })
+	if err := g.Run(80); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("event scheduled past the first horizon never fired")
+	}
+}
+
+func TestShardGroupSingleShardIsSerial(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	tickTrace(e, "solo", 7, 200, &trace)
+	g := NewShardGroup([]*Engine{e}, 10, 4)
+	if err := g.Run(200); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var want []string
+	ref := NewEngine()
+	tickTrace(ref, "solo", 7, 200, &want)
+	if err := ref.Run(200); err != nil {
+		t.Fatalf("ref Run: %v", err)
+	}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("single-shard group diverged from plain engine:\n got %v\nwant %v", trace, want)
+	}
+}

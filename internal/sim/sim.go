@@ -428,6 +428,30 @@ func (e *Engine) Run(until Time) error {
 // RunAll processes events until the queue drains or Stop is called.
 func (e *Engine) RunAll() error { return e.Run(MaxTime) }
 
+// NextAt returns the instant of the earliest live pending event, without
+// firing it. Cancelled events encountered at the head of the queue are
+// collected on the way (they would be skipped by Run anyway), so the
+// reported instant is exact, not an underestimate. The second result is
+// false when no live event is queued. Conservative parallel runners use
+// this to compute the global epoch horizon.
+func (e *Engine) NextAt() (Time, bool) {
+	for {
+		next := e.sched.peek()
+		if next == nil {
+			return 0, false
+		}
+		if next.cancel {
+			e.sched.pop()
+			if e.lazy > 0 {
+				e.lazy--
+			}
+			e.recycle(next)
+			continue
+		}
+		return next.at, true
+	}
+}
+
 // Reset returns the engine to its initial state — clock at zero, empty
 // queue, sequence counter rewound — while keeping the event free list and
 // queue capacity, so a worker can run many simulation replicas without
