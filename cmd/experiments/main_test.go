@@ -143,3 +143,39 @@ func TestSeedsAliasUsesRunner(t *testing.T) {
 		t.Fatalf("-seeds output missing metric rows:\n%s", out.String())
 	}
 }
+
+func TestWorkersAndEpochModeFlagsPreserveArtifacts(t *testing.T) {
+	// -workers and -fixed-epochs change execution strategy only: the city
+	// spec's artifact must be byte-identical (canonicalized) across both.
+	if testing.Short() {
+		t.Skip("scenario runs are slow")
+	}
+	dir := t.TempDir()
+	artifact := func(path string, extra ...string) []byte {
+		args := append([]string{"-spec", "city", "-replicas", "1", "-seed", "11", "-json", path}, extra...)
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run %v: %v", extra, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		doc, err := runner.DecodeDocument(f)
+		if err != nil {
+			t.Fatalf("artifact does not parse: %v", err)
+		}
+		doc.Canonicalize()
+		var buf bytes.Buffer
+		if err := doc.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := artifact(filepath.Join(dir, "adaptive.json"), "-workers", "2")
+	fixed := artifact(filepath.Join(dir, "fixed.json"), "-workers", "3", "-fixed-epochs")
+	if !bytes.Equal(ref, fixed) {
+		t.Fatalf("artifacts diverge across -workers/-fixed-epochs:\n%s\nvs\n%s", ref, fixed)
+	}
+}

@@ -162,7 +162,7 @@ func (i *Iface) transmit(pkt *inet.Packet) {
 func (i *Iface) txDone() {
 	i.sent++
 	if i.xport != nil {
-		i.xport.outbox = append(i.xport.outbox, xEntry{at: i.engine.Now() + i.link.cfg.Delay, pkt: i.txPkt})
+		i.xport.park(i.engine.Now()+i.link.cfg.Delay, i.txPkt)
 	} else {
 		i.inflight = append(i.inflight, i.txPkt)
 		i.engine.Schedule(i.link.cfg.Delay, i.deliverFn)

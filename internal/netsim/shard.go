@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/inet"
 	"repro/internal/sim"
@@ -24,6 +25,17 @@ type ShardExchange struct {
 	// which is exactly the lookahead a ShardGroup over this partition may
 	// use. Zero while no cross-shard link exists.
 	minDelay sim.Time
+	// dirtyPorts counts ports whose outbox is non-empty. A port increments
+	// it on the first park since the last flush (from its owning shard's
+	// goroutine, hence the atomic); Flush resets it at the barrier. It is
+	// both the Flush fast path and the Pending oracle a ShardGroup uses to
+	// widen solo rounds.
+	dirtyPorts atomic.Int64
+	// flushes/elidedFlushes count barrier flushes that did work vs. were
+	// skipped because no outbox held packets. Both are a pure function of
+	// the partition and the epoch protocol, never of worker scheduling.
+	flushes       uint64
+	elidedFlushes uint64
 }
 
 // NewShardExchange returns an empty exchange.
@@ -37,6 +49,21 @@ func (x *ShardExchange) Lookahead() sim.Time { return x.minDelay }
 // Ports returns the number of registered mailbox directions (two per
 // cross-shard link).
 func (x *ShardExchange) Ports() int { return len(x.ports) }
+
+// Pending reports whether any outbox currently holds parked traffic.
+// Install it as the group's pending oracle (ShardGroup.SetExchangePending):
+// it is safe to call from the one shard running in a solo round, and after
+// a Flush it reads false until the next transmission is parked.
+func (x *ShardExchange) Pending() bool { return x.dirtyPorts.Load() != 0 }
+
+// Flushes returns how many barrier flushes migrated at least one packet;
+// ElidedFlushes how many were skipped outright because every outbox was
+// empty. Their sum is the number of Flush calls.
+func (x *ShardExchange) Flushes() uint64 { return x.flushes }
+
+// ElidedFlushes returns the number of Flush calls skipped by the dirty-flag
+// fast path.
+func (x *ShardExchange) ElidedFlushes() uint64 { return x.elidedFlushes }
 
 // Connect creates a duplex link between nodes driven by the given engines.
 // When the engines are the same shard it degrades to a plain Connect — a
@@ -64,8 +91,8 @@ func (x *ShardExchange) Connect(ea, eb *sim.Engine, a, b Node, cfg LinkConfig) *
 	l.b.txDoneFn = l.b.txDone
 
 	// One mailbox per direction, delivering into the far side's engine.
-	pa := &xPort{recv: eb, dst: l.b}
-	pb := &xPort{recv: ea, dst: l.a}
+	pa := &xPort{owner: x, recv: eb, dst: l.b}
+	pb := &xPort{owner: x, recv: ea, dst: l.a}
 	pa.deliverFn = pa.deliver
 	pb.deliverFn = pb.deliver
 	l.a.xport = pa
@@ -90,10 +117,17 @@ func (x *ShardExchange) Connect(ea, eb *sim.Engine, a, b Node, cfg LinkConfig) *
 // sides of a port. Steady state is allocation-free: outboxes, pending
 // FIFOs, and the receiving engines' event slots are all recycled.
 func (x *ShardExchange) Flush() {
+	if x.dirtyPorts.Load() == 0 {
+		x.elidedFlushes++
+		return
+	}
+	x.flushes++
+	x.dirtyPorts.Store(0)
 	for _, p := range x.ports {
-		if len(p.outbox) == 0 {
+		if !p.dirty {
 			continue
 		}
+		p.dirty = false
 		for i := range p.outbox {
 			e := &p.outbox[i]
 			p.pending = append(p.pending, e.pkt)
@@ -117,11 +151,27 @@ type xEntry struct {
 // the FIFO head is always the packet whose arrival event is firing —
 // exactly the invariant Iface.deliver relies on for in-shard links.
 type xPort struct {
+	owner     *ShardExchange
 	recv      *sim.Engine
 	dst       *Iface // receiving interface (counts the delivery)
 	outbox    []xEntry
 	pending   []*inet.Packet
 	deliverFn sim.Handler
+	// dirty marks a non-empty outbox. Owned by the sending shard between
+	// barriers (set in park), read and cleared by Flush at the barrier.
+	dirty bool
+}
+
+// park buffers one finished transmission for the next barrier flush and
+// maintains the exchange's dirty accounting. It runs on the sending
+// shard's goroutine mid-epoch; the 0→1 transition is the only point that
+// touches shared state, through owner.dirtyPorts.
+func (p *xPort) park(at sim.Time, pkt *inet.Packet) {
+	if !p.dirty {
+		p.dirty = true
+		p.owner.dirtyPorts.Add(1)
+	}
+	p.outbox = append(p.outbox, xEntry{at: at, pkt: pkt})
 }
 
 // deliver fires on the receiving engine at the arrival instant and hands

@@ -53,6 +53,41 @@ const cityCrossDelay = 5 * sim.Millisecond
 // overrides it.
 var DefaultCityShards = 8
 
+// DefaultCityWorkers, when positive, is the worker count used when
+// CityParams.Workers is zero (`experiments -workers` sets it). Zero means
+// "derive from the machine": GOMAXPROCS for the figure path, a small fixed
+// count for runner specs (whose replicas already run concurrently).
+var DefaultCityWorkers = 0
+
+// DefaultCityFixedEpochs, when true, runs the city shard group in the
+// classic fixed-width epoch mode instead of adaptive epochs
+// (`experiments -fixed-epochs`). The simulation results are byte-identical
+// either way — the mode exists as the measurement baseline for barrier
+// statistics.
+var DefaultCityFixedEpochs = false
+
+// cityWorkers resolves the worker count for a sharded city run — the one
+// defaulting path shared by applyDefaults and CitySpec. An explicit request
+// wins, then the process-wide default (the -workers flag), then fallback;
+// the result is clamped to [1, shards] since more workers than shards can
+// never help.
+func cityWorkers(requested, shards, fallback int) int {
+	w := requested
+	if w <= 0 {
+		w = DefaultCityWorkers
+	}
+	if w <= 0 {
+		w = fallback
+	}
+	if w > shards {
+		w = shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // CityParams configures the sharded city-scale scenario. Zero values
 // select the acceptance-scale defaults (50 domains × 2000 hosts).
 type CityParams struct {
@@ -70,8 +105,13 @@ type CityParams struct {
 	// tie-breaks differ across partitions) but never on Workers.
 	Shards int
 	// Workers bounds the goroutines running shards. Zero selects
-	// GOMAXPROCS. Any worker count produces byte-identical results.
+	// DefaultCityWorkers, then GOMAXPROCS. Any worker count produces
+	// byte-identical results.
 	Workers int
+	// FixedEpochs reverts the shard group to fixed-width epochs (the
+	// pre-adaptive protocol). Zero value — adaptive — is what everything
+	// but differential tests and barrier measurements wants.
+	FixedEpochs bool
 	// Scheme selects the buffering behaviour on the access routers.
 	Scheme core.Scheme
 	// PoolSize is each access router's buffer pool in packets.
@@ -111,8 +151,9 @@ func (p *CityParams) applyDefaults() {
 	if p.Shards <= 0 {
 		p.Shards = DefaultCityShards
 	}
-	if p.Workers <= 0 {
-		p.Workers = runtime.GOMAXPROCS(0)
+	p.Workers = cityWorkers(p.Workers, p.Shards, runtime.GOMAXPROCS(0))
+	if DefaultCityFixedEpochs {
+		p.FixedEpochs = true
 	}
 	if p.Scheme == 0 {
 		p.Scheme = core.SchemeEnhanced
@@ -295,6 +336,10 @@ func newCity(p CityParams) *city {
 	}
 	c.group = sim.NewShardGroup(engines, lookahead, p.Workers)
 	c.group.SetExchange(c.exchange.Flush)
+	c.group.SetExchangePending(c.exchange.Pending)
+	if p.FixedEpochs {
+		c.group.SetAdaptive(false)
+	}
 	return c
 }
 
@@ -556,6 +601,15 @@ type CityResult struct {
 	// per-shard spread is the partition balance the assignment achieved.
 	Events      uint64
 	ShardEvents []uint64
+	// Barrier holds the shard group's synchronization counters and
+	// Flushes/ElidedFlushes the exchange's — all pure functions of the
+	// model for a fixed shard count and epoch mode, so they render into
+	// the golden output: a regression in barrier efficiency shows up as a
+	// golden diff. All zero when the partition is a single shard (the run
+	// never enters the round loop).
+	Barrier       sim.ShardStats
+	Flushes       uint64
+	ElidedFlushes uint64
 	// Aggregates over all domains.
 	Handoffs     int
 	Grants       uint64
@@ -595,6 +649,9 @@ func RunCity(p CityParams) CityResult {
 		res.Events += e.Processed()
 		res.ShardEvents = append(res.ShardEvents, e.Processed())
 	}
+	res.Barrier = c.group.Stats()
+	res.Flushes = c.exchange.Flushes()
+	res.ElidedFlushes = c.exchange.ElidedFlushes()
 	var meanSum float64
 	var meanN int
 	for d, dom := range c.domains {
@@ -689,6 +746,14 @@ func (r CityResult) Render() string {
 		app("%d", n)
 	}
 	app("\n")
+	// Barrier efficiency (absent for a single shard, where the run is the
+	// serial engine and the counters are all zero by construction).
+	if r.Shards > 1 {
+		app("barrier: rounds=%d sync=%d solo=%d dispatched=%d elided=%d flushes=%d elidedFlushes=%d\n",
+			r.Barrier.Rounds, r.Barrier.BarrierRounds, r.Barrier.SoloRounds,
+			r.Barrier.Dispatches, r.Barrier.ElidedDispatches,
+			r.Flushes, r.ElidedFlushes)
+	}
 	return string(b)
 }
 
@@ -721,9 +786,9 @@ func CitySpec(p CityParams) runner.Spec {
 	if p.Shards == 0 {
 		p.Shards = 4
 	}
-	if p.Workers == 0 {
-		p.Workers = 2
-	}
+	// Runner replicas already run concurrently, so the per-run shard
+	// parallelism defaults low (2) rather than to GOMAXPROCS.
+	p.Workers = cityWorkers(p.Workers, p.Shards, 2)
 	d := p
 	d.applyDefaults()
 	return scratchSpec{
@@ -758,3 +823,16 @@ func SetDefaultCityShards(n int) {
 		DefaultCityShards = n
 	}
 }
+
+// SetDefaultCityWorkers overrides the default worker count (the experiments
+// command's -workers flag). Zero or negative keeps the machine-derived
+// default.
+func SetDefaultCityWorkers(n int) {
+	if n > 0 {
+		DefaultCityWorkers = n
+	}
+}
+
+// SetDefaultCityFixedEpochs selects the fixed-width epoch baseline (the
+// experiments command's -fixed-epochs flag).
+func SetDefaultCityFixedEpochs(on bool) { DefaultCityFixedEpochs = on }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -172,6 +173,12 @@ func BenchmarkCityShardedSpeedup(b *testing.B) {
 	}{
 		{"shards1", 1, 1},
 		{"shards8", 8, 8},
+		// Worker sweep at a fixed partition: how the barrier behaves when
+		// goroutines are scarcer than shards (w1 also isolates protocol
+		// cost from parallelism).
+		{"shards8w1", 8, 1},
+		{"shards8w2", 8, 2},
+		{"shards8w4", 8, 4},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -181,5 +188,149 @@ func BenchmarkCityShardedSpeedup(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// stripBarrierLine removes the barrier-statistics line from a rendered city
+// summary — the one line that legitimately differs between the adaptive and
+// fixed epoch modes (it reports the protocol, not the simulation).
+func stripBarrierLine(s string) string {
+	var b strings.Builder
+	for _, line := range strings.SplitAfter(s, "\n") {
+		if strings.HasPrefix(line, "barrier: ") {
+			continue
+		}
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+// citySparseParams is the sparse-handoff regime the adaptive barrier
+// targets: one staggered handoff per domain spread over ten minutes, so
+// beacons and rare cross-shard bursts dominate and fixed-width epochs
+// degenerate into empty synchronized rounds.
+func citySparseParams() CityParams {
+	return CityParams{
+		Domains:        4,
+		HostsPerDomain: 1,
+		MAPs:           2,
+		Shards:         4,
+		Workers:        2,
+		StaggerWindow:  600 * sim.Second,
+		Seed:           7,
+	}
+}
+
+func TestCityAdaptiveMatchesFixedEpochs(t *testing.T) {
+	// The differential golden for the adaptive barrier: on the same
+	// parameters, the adaptive and fixed-width epoch protocols must produce
+	// byte-identical simulations — everything except the barrier line.
+	for _, tc := range []struct {
+		name string
+		p    CityParams
+	}{
+		{"dense", func() CityParams { p := cityTestParams(); p.Shards = 4; p.Workers = 4; return p }()},
+		{"sparse", citySparseParams()},
+		{"bench", benchCityParams(8, 4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			adaptive := RunCity(tc.p)
+			f := tc.p
+			f.FixedEpochs = true
+			fixed := RunCity(f)
+			got, want := cityBytes(t, adaptive), cityBytes(t, fixed)
+			if stripBarrierLine(got) != stripBarrierLine(want) {
+				t.Fatalf("adaptive epochs diverged from fixed epochs:\n--- adaptive ---\n%s\n--- fixed ---\n%s", got, want)
+			}
+			if a, f := adaptive.Barrier, fixed.Barrier; a.BarrierRounds >= f.BarrierRounds || a.Dispatches >= f.Dispatches {
+				t.Fatalf("adaptive barrier did not thin the protocol: adaptive %+v vs fixed %+v", a, f)
+			}
+		})
+	}
+}
+
+func TestCityAdaptiveReducesBarrierRounds(t *testing.T) {
+	// The acceptance bar: ≥5× fewer synchronized rounds in the sparse
+	// regime. The counts are pure functions of the model, so the exact
+	// ratio is stable (measured ~10× on this config).
+	p := citySparseParams()
+	adaptive := RunCity(p)
+	f := p
+	f.FixedEpochs = true
+	fixed := RunCity(f)
+	if fixed.Barrier.BarrierRounds < 5*adaptive.Barrier.BarrierRounds {
+		t.Fatalf("synchronized rounds reduced only %d→%d, want ≥5×",
+			fixed.Barrier.BarrierRounds, adaptive.Barrier.BarrierRounds)
+	}
+	if adaptive.Barrier.SoloRounds == 0 || adaptive.Barrier.ElidedDispatches == 0 {
+		t.Fatalf("adaptive stats %+v: expected solo rounds and elided dispatches", adaptive.Barrier)
+	}
+	if adaptive.ElidedFlushes == 0 {
+		t.Fatalf("no flush was elided (flushes=%d)", adaptive.Flushes)
+	}
+	if fixed.Barrier.SoloRounds != 0 || fixed.Barrier.ElidedDispatches != 0 {
+		t.Fatalf("fixed stats %+v: fixed mode must dispatch every shard every round", fixed.Barrier)
+	}
+}
+
+func TestSpecsIdenticalAcrossEpochModes(t *testing.T) {
+	// Runner metrics from the metro and city specs must not depend on the
+	// epoch mode (metro never touches the shard group; city does, through
+	// either protocol).
+	cityP := CityParams{Domains: 4, HostsPerDomain: 25, MAPs: 2, Shards: 4, StaggerWindow: 5 * sim.Second}
+	cityF := cityP
+	cityF.FixedEpochs = true
+	a, err := CitySpec(cityP).Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CitySpec(cityF).Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("city spec metrics diverged across epoch modes:\n%v\nvs\n%v", a, b)
+	}
+
+	metroP := MetroParams{Hosts: []int{10, 50}}
+	SetDefaultCityFixedEpochs(true)
+	m1, err := MetroSpec(metroP).Run(9)
+	SetDefaultCityFixedEpochs(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MetroSpec(metroP).Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(m1) != fmt.Sprint(m2) {
+		t.Fatalf("metro spec metrics diverged across epoch modes:\n%v\nvs\n%v", m1, m2)
+	}
+}
+
+func TestCityWorkersDefaulting(t *testing.T) {
+	// Both defaulting paths (applyDefaults and CitySpec) resolve through
+	// cityWorkers: explicit > process default > fallback, clamped to the
+	// shard count.
+	defer SetDefaultCityWorkers(0)
+	DefaultCityWorkers = 0
+	if got := cityWorkers(3, 8, 5); got != 3 {
+		t.Fatalf("explicit request = %d, want 3", got)
+	}
+	if got := cityWorkers(0, 8, 5); got != 5 {
+		t.Fatalf("fallback = %d, want 5", got)
+	}
+	SetDefaultCityWorkers(6)
+	if got := cityWorkers(0, 8, 5); got != 6 {
+		t.Fatalf("process default = %d, want 6", got)
+	}
+	if got := cityWorkers(0, 2, 5); got != 2 {
+		t.Fatalf("shard clamp = %d, want 2", got)
+	}
+	DefaultCityWorkers = 0
+	p := CityParams{Shards: 4, Workers: 16}
+	p.applyDefaults()
+	if p.Workers != 4 {
+		t.Fatalf("applyDefaults workers = %d, want clamp to 4 shards", p.Workers)
 	}
 }
