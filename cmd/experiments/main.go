@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/netsim"
 	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -60,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 	shards := fs.Int("shards", 0, "shard count for the city scenario (0: fixed default; results depend on the shard count, never on workers)")
 	workers := fs.Int("workers", 0, "goroutines running city shards (0: GOMAXPROCS; any value yields byte-identical results)")
 	fixedEpochs := fs.Bool("fixed-epochs", false, "run the city shard barrier in fixed-width epoch mode (the adaptive baseline; results are identical)")
+	fused := fs.Bool("fused", netsim.FusedLinks(), "analytic link transmit path: one scheduler event per wired hop instead of two (results are identical; -fused=false is the classic baseline)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := fs.String("trace", "", "write a runtime execution trace to this file")
@@ -76,6 +78,7 @@ func run(args []string, stdout io.Writer) error {
 	scenario.SetDefaultCityShards(*shards)
 	scenario.SetDefaultCityWorkers(*workers)
 	scenario.SetDefaultCityFixedEpochs(*fixedEpochs)
+	netsim.SetFusedLinks(*fused)
 	stopProfiles, err := prof.Start(*cpuProfile, *memProfile, *traceOut)
 	if err != nil {
 		return err

@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"fmt"
+	"os"
+	"sync/atomic"
 
 	"repro/internal/inet"
 	"repro/internal/sim"
@@ -28,6 +30,58 @@ type LinkConfig struct {
 // topology never tail-drop; the interesting buffering happens in the
 // handover buffers, not the link queues.
 const DefaultQueueLimit = 1000
+
+// fusedLinksDefault selects the analytic ("fused") transmit path for links
+// wired from now on: one pre-pinned delivery event per packet instead of
+// the classic txDone-then-deliver pair (DESIGN.md §12). On by default;
+// setting NETSIM_FUSED=0 in the environment starts the process with
+// classic links (CI uses this to run the figure suite in both modes).
+var fusedLinksDefault atomic.Bool
+
+func init() { fusedLinksDefault.Store(os.Getenv("NETSIM_FUSED") != "0") }
+
+// SetFusedLinks selects the transmit path for links wired from now on and
+// returns the previous setting. An Iface latches the setting at Connect
+// time, so a test can build a fused and a classic link side by side on one
+// engine by toggling around the Connect calls.
+func SetFusedLinks(on bool) bool { return fusedLinksDefault.Swap(on) }
+
+// FusedLinks reports whether links wired from now on use the analytic
+// transmit path.
+func FusedLinks() bool { return fusedLinksDefault.Load() }
+
+// linkMode is an Iface's committed transmit path.
+type linkMode uint8
+
+const (
+	// modeUnset: not committed yet; the first Send decides.
+	modeUnset linkMode = iota
+	// modeClassic: two scheduler events per packet (txDone, deliver).
+	modeClassic
+	// modeFused: analytic departures, one pre-pinned delivery event.
+	modeFused
+)
+
+// txEntry is one analytically computed departure pending in a fused
+// Iface's ring: enough state to replay, at any later read, exactly the
+// counter and occupancy updates the classic txDone event would have
+// applied at dep — including which side of an equal-instant tie the
+// txDone would have fired on (the phantom key, see drainRing).
+type txEntry struct {
+	dep  sim.Time // serialization end; the classic txDone instant
+	size int
+	// Phantom txDone ordering key at instant dep. pvins is the instant
+	// the classic path would have inserted the txDone (serialization
+	// start); (pvins2, pvseq2) the inserting context — the Send-time
+	// firing event for a busy-period root, the predecessor's
+	// (pvins, pseq) down a backlog chain; pseq the sequence slot the
+	// insertion would have consumed (the root's, propagated down the
+	// chain).
+	pvins  sim.Time
+	pvins2 sim.Time
+	pvseq2 uint64
+	pseq   uint64
+}
 
 // Link is a duplex point-to-point link between two nodes.
 type Link struct {
@@ -76,12 +130,29 @@ type Iface struct {
 	// See ShardExchange.
 	xport *xPort
 
+	// Analytic ("fused") transmit state — see DESIGN.md §12. fusedCfg is
+	// latched from the package setting at Connect; mode commits at the
+	// first Send (classic when an Impair hook is installed by then).
+	// busyUntil is the per-direction serialization clock, ring the FIFO
+	// of departures not yet folded into the counters (drained lazily),
+	// and ringBytes the byte sum of the live ring entries.
+	fusedCfg  bool
+	mode      linkMode
+	busyUntil sim.Time
+	ring      []txEntry
+	ringHead  int
+	ringBytes int
+
 	// DropHook, if set, observes every tail drop on this interface.
 	DropHook func(pkt *inet.Packet)
 	// Impair, if set, is consulted before each transmission; returning
 	// true silently discards the packet. Used for failure injection in
 	// tests and robustness experiments.
 	Impair func(pkt *inet.Packet) bool
+	// DiscardHook, if set, observes every packet an Impair hook
+	// discarded, so owners can reclaim pooled packets that would
+	// otherwise leak (see Topology.HookDiscards).
+	DiscardHook func(pkt *inet.Packet)
 }
 
 // Node returns the node this interface belongs to.
@@ -97,17 +168,36 @@ func (i *Iface) PeerIface() *Iface { return i.peer }
 func (i *Iface) Link() *Link { return i.link }
 
 // Sent returns the number of packets fully transmitted.
-func (i *Iface) Sent() uint64 { return i.sent }
+func (i *Iface) Sent() uint64 {
+	i.drainRing()
+	return i.sent
+}
 
 // Dropped returns the number of tail-dropped packets.
 func (i *Iface) Dropped() uint64 { return i.dropped }
 
+// Delivers returns the number of packets this interface handed to its
+// node — the receive-side counterpart of the peer's Sent.
+func (i *Iface) Delivers() uint64 { return i.delivers }
+
 // QueueLen returns the number of packets waiting behind the one in
 // transmission.
-func (i *Iface) QueueLen() int { return len(i.queue) }
+func (i *Iface) QueueLen() int {
+	i.drainRing()
+	if m := len(i.ring) - i.ringHead; m > 0 {
+		return m - 1
+	}
+	return len(i.queue)
+}
 
 // QueueBytes returns the bytes waiting behind the one in transmission.
-func (i *Iface) QueueBytes() int { return i.queuedBytes }
+func (i *Iface) QueueBytes() int {
+	i.drainRing()
+	if m := len(i.ring) - i.ringHead; m > 0 {
+		return i.ringBytes - i.ring[i.ringHead].size
+	}
+	return i.queuedBytes
+}
 
 // String identifies the interface as "node->peer".
 func (i *Iface) String() string {
@@ -122,6 +212,24 @@ func (i *Iface) Send(pkt *inet.Packet) {
 		panic("netsim: Send(nil)")
 	}
 	if i.Impair != nil && i.Impair(pkt) {
+		if i.DiscardHook != nil {
+			i.DiscardHook(pkt)
+		}
+		return
+	}
+	if i.mode == modeUnset {
+		// Commit the transmit path on first use. Links with an Impair
+		// hook by then keep the classic two-event path; a hook attached
+		// after the commit is still consulted at Send time above, in the
+		// identical position on both paths.
+		if i.fusedCfg && i.Impair == nil {
+			i.mode = modeFused
+		} else {
+			i.mode = modeClassic
+		}
+	}
+	if i.mode == modeFused {
+		i.sendFused(pkt)
 		return
 	}
 	if i.busy {
@@ -192,6 +300,127 @@ func (i *Iface) deliver() {
 	i.peer.node.HandlePacket(i.peer, pkt)
 }
 
+// sendFused is the analytic transmit path: no txDone event is scheduled.
+// The departure instant follows from the per-direction busyUntil clock,
+// the droptail/byte-limit decision from the lazily drained departure
+// ring, and the single delivery event is pinned (sim.AtPinned) exactly
+// where the classic txDone-then-deliver chain would have inserted it, so
+// equal-instant ordering — and therefore every simulation output — is
+// identical to the classic path. See DESIGN.md §12.
+func (i *Iface) sendFused(pkt *inet.Packet) {
+	i.drainRing()
+	m := len(i.ring) - i.ringHead
+	if m > 0 {
+		// Transmitter busy: the ring head is the packet serializing, the
+		// rest the queue — apply droptail exactly as the classic path.
+		limit := i.link.cfg.QueueLimit
+		if limit == 0 {
+			limit = DefaultQueueLimit
+		}
+		byteLimit := i.link.cfg.QueueLimitBytes
+		if m-1 >= limit || (byteLimit > 0 && i.ringBytes-i.ring[i.ringHead].size+pkt.Size > byteLimit) {
+			i.dropped++
+			if i.DropHook != nil {
+				i.DropHook(pkt)
+			}
+			return
+		}
+	}
+	e := i.engine
+	now := e.Now()
+	var txTime sim.Time
+	if bps := i.link.cfg.BandwidthBPS; bps > 0 {
+		txTime = sim.Time(int64(pkt.Size) * 8 * int64(sim.Second) / bps)
+	}
+	var ent txEntry
+	start := now
+	if m > 0 {
+		// Backlogged: serialization starts when the predecessor departs,
+		// and the phantom txDone inherits the chain's insertion lineage
+		// (classic inserts it while the predecessor's txDone is firing).
+		prev := &i.ring[len(i.ring)-1]
+		start = i.busyUntil
+		ent.pvins2, ent.pvseq2, ent.pseq = prev.pvins, prev.pseq, prev.pseq
+	} else if fv, _, _, fseq, firing := e.FiringKey(); firing {
+		ent.pvins2, ent.pvseq2 = fv, fseq
+		ent.pseq = e.NextSeq()
+	} else {
+		ent.pvins2, ent.pvseq2 = now, e.NextSeq()
+		ent.pseq = e.NextSeq()
+	}
+	dep := start + txTime
+	ent.dep, ent.size, ent.pvins = dep, pkt.Size, start
+	i.busyUntil = dep
+	i.ring = append(i.ring, ent)
+	i.ringBytes += pkt.Size
+	if i.xport != nil {
+		// Cross-shard: park at the analytically known arrival right
+		// away. The entry reaches the mailbox one barrier earlier than
+		// the classic path would have parked it, but the arrival instant
+		// is identical and still at least one lookahead ahead of the
+		// sending shard's clock, so the epoch protocol stays sound.
+		i.xport.park(dep+i.link.cfg.Delay, pkt)
+		return
+	}
+	i.inflight = append(i.inflight, pkt)
+	e.AtPinned(dep+i.link.cfg.Delay, dep, start, ent.pseq, i.deliverFn)
+}
+
+// drainRing retires every pending departure the classic path would have
+// completed by now, folding each into the sent counter and the occupancy
+// accounting — late, but with identical visible values at every read
+// point. Departure instants themselves never depend on the drain (only
+// busyUntil does, and drains don't touch it).
+func (i *Iface) drainRing() {
+	h, n := i.ringHead, len(i.ring)
+	if h == n {
+		return
+	}
+	now := i.engine.Now()
+	for h < n {
+		ent := &i.ring[h]
+		if ent.dep > now || (ent.dep == now && !i.phantomFired(ent)) {
+			break
+		}
+		i.sent++
+		i.ringBytes -= ent.size
+		h++
+	}
+	// Reclaim ring storage: reset when empty, compact when the dead
+	// prefix dominates, so a permanently busy link stays O(backlog).
+	if h == len(i.ring) {
+		i.ring = i.ring[:0]
+		h = 0
+	} else if h >= 64 && h*2 >= len(i.ring) {
+		kept := copy(i.ring, i.ring[h:])
+		i.ring = i.ring[:kept]
+		h = 0
+	}
+	i.ringHead = h
+}
+
+// phantomFired reports whether the classic txDone for ent — an event at
+// the current instant with key (now, pvins, pvins2, pvseq2, pseq) — would
+// have fired before the event whose handler is currently running. With no
+// handler running (a read between engine runs) the txDone has fired: Run
+// fires events at the horizon instant before returning.
+func (i *Iface) phantomFired(ent *txEntry) bool {
+	fv, fv2, fs2, fseq, firing := i.engine.FiringKey()
+	if !firing {
+		return true
+	}
+	if ent.pvins != fv {
+		return ent.pvins < fv
+	}
+	if ent.pvins2 != fv2 {
+		return ent.pvins2 < fv2
+	}
+	if ent.pvseq2 != fs2 {
+		return ent.pvseq2 < fs2
+	}
+	return ent.pseq < fseq
+}
+
 // Connect creates a duplex link between two nodes and returns it. Nodes
 // that implement the internal attachIface hook (hosts, routers) are told
 // about their new interface.
@@ -199,9 +428,10 @@ func Connect(engine *sim.Engine, a, b Node, cfg LinkConfig) *Link {
 	if engine == nil {
 		panic("netsim: Connect with nil engine")
 	}
+	fc := FusedLinks()
 	l := &Link{cfg: cfg}
-	l.a = &Iface{engine: engine, node: a, link: l}
-	l.b = &Iface{engine: engine, node: b, link: l}
+	l.a = &Iface{engine: engine, node: a, link: l, fusedCfg: fc}
+	l.b = &Iface{engine: engine, node: b, link: l, fusedCfg: fc}
 	l.a.peer = l.b
 	l.b.peer = l.a
 	// Bind the transmit handlers once so the per-packet hot path schedules

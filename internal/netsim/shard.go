@@ -82,9 +82,10 @@ func (x *ShardExchange) Connect(ea, eb *sim.Engine, a, b Node, cfg LinkConfig) *
 	if cfg.Delay < 1 {
 		panic(fmt.Sprintf("netsim: cross-shard link %s--%s needs a positive delay", a.Name(), b.Name()))
 	}
+	fc := FusedLinks()
 	l := &Link{cfg: cfg}
-	l.a = &Iface{engine: ea, node: a, link: l}
-	l.b = &Iface{engine: eb, node: b, link: l}
+	l.a = &Iface{engine: ea, node: a, link: l, fusedCfg: fc}
+	l.b = &Iface{engine: eb, node: b, link: l, fusedCfg: fc}
 	l.a.peer = l.b
 	l.b.peer = l.a
 	l.a.txDoneFn = l.a.txDone

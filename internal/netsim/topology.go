@@ -120,6 +120,23 @@ func (t *Topology) HookDrops(fn func(pkt *inet.Packet)) {
 	}
 }
 
+// HookDiscards installs fn as the Impair-discard observer on both
+// interfaces of every link created so far, chaining after any hook already
+// installed. Discarded packets are consumed by the link (they are never
+// delivered or tail-drop-hooked), so a topology that pools packets must
+// reclaim them here or leak them. Call it once all links are connected.
+func (t *Topology) HookDiscards(fn func(pkt *inet.Packet)) {
+	for _, l := range t.links {
+		for _, ifc := range [...]*Iface{l.A(), l.B()} {
+			if prev := ifc.DiscardHook; prev != nil {
+				ifc.DiscardHook = func(pkt *inet.Packet) { prev(pkt); fn(pkt) }
+			} else {
+				ifc.DiscardHook = fn
+			}
+		}
+	}
+}
+
 // ClaimNet declares that the given node terminates a network: shortest-path
 // routes for the network's prefix lead to that node.
 func (t *Topology) ClaimNet(n inet.NetID, owner Node) {

@@ -250,11 +250,19 @@ type cityDomain struct {
 	apPAR    *wireless.AccessPoint
 	apNAR    *wireless.AccessPoint
 	parAPL   *netsim.Link
+	// wired holds every wired link of the domain, indexed by cityLinkRoles,
+	// for the utilization rollup.
+	wired [len(cityLinkRoles)]*netsim.Link
 
 	parNet, narNet, cnNet inet.NetID
 
 	hosts []*cityHost
 }
+
+// cityLinkRoles names the wired link roles of one AR domain, in render
+// order: the three MAP-facing (usually cross-shard) links, the direct
+// PAR–NAR link, and the two router–AP links.
+var cityLinkRoles = [...]string{"cn-map", "par-map", "nar-map", "par-nar", "par-ap", "nar-ap"}
 
 // cityHost is one mobile host and its audio flow.
 type cityHost struct {
@@ -468,6 +476,7 @@ func (c *city) buildDomain(d, shard int, anchor *cityMAP) *cityDomain {
 		recorder: recorder, anchor: anchor,
 		cn: cn, par: par, nar: nar, apPAR: apPAR, apNAR: apNAR,
 		parAPL: parAPLink,
+		wired:  [...]*netsim.Link{cnMAP, parMAP, narMAP, arLink, parAPLink, narAPLink},
 		parNet: parNet, narNet: narNet, cnNet: cnNet,
 	}
 }
@@ -601,6 +610,14 @@ type CityResult struct {
 	// per-shard spread is the partition balance the assignment achieved.
 	Events      uint64
 	ShardEvents []uint64
+	// Links aggregates wired-link utilization per role (both directions of
+	// every domain's link with that role summed): packets accepted into the
+	// transmit queue, packets handed to the far node, and tail drops.
+	// Deterministic for a fixed shard count — and, with the analytic link
+	// fast path, reconstructed lazily from the departure ring rather than
+	// counted by txDone events, so it renders into the golden output as the
+	// observable check on the fused counter reconstruction.
+	Links []CityLinkUse
 	// Barrier holds the shard group's synchronization counters and
 	// Flushes/ElidedFlushes the exchange's — all pure functions of the
 	// model for a fixed shard count and epoch mode, so they render into
@@ -628,6 +645,15 @@ type CityResult struct {
 	Wall time.Duration
 }
 
+// CityLinkUse is one wired-link role's aggregate utilization across all
+// domains.
+type CityLinkUse struct {
+	Role      string
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
 // RunCity builds and runs the sharded city scenario.
 func RunCity(p CityParams) CityResult {
 	p.applyDefaults()
@@ -652,6 +678,19 @@ func RunCity(p CityParams) CityResult {
 	res.Barrier = c.group.Stats()
 	res.Flushes = c.exchange.Flushes()
 	res.ElidedFlushes = c.exchange.ElidedFlushes()
+	res.Links = make([]CityLinkUse, len(cityLinkRoles))
+	for i, role := range cityLinkRoles {
+		res.Links[i].Role = role
+	}
+	for _, dom := range c.domains {
+		for i, l := range dom.wired {
+			for _, ifc := range [...]*netsim.Iface{l.A(), l.B()} {
+				res.Links[i].Sent += ifc.Sent()
+				res.Links[i].Delivered += ifc.Delivers()
+				res.Links[i].Dropped += ifc.Dropped()
+			}
+		}
+	}
 	var meanSum float64
 	var meanN int
 	for d, dom := range c.domains {
@@ -746,6 +785,14 @@ func (r CityResult) Render() string {
 		app("%d", n)
 	}
 	app("\n")
+	// Wired-link utilization per role, both directions of every domain's
+	// link summed. Delivered lags sent by whatever was still in flight or
+	// queued when the run's horizon fell.
+	app("link utilization (all domains, both directions):\n")
+	for _, lu := range r.Links {
+		app("%10s%12d sent%12d delivered%10d dropped\n",
+			lu.Role, lu.Sent, lu.Delivered, lu.Dropped)
+	}
 	// Barrier efficiency (absent for a single shard, where the run is the
 	// serial engine and the counters are all zero by construction).
 	if r.Shards > 1 {

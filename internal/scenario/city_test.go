@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
@@ -246,6 +247,58 @@ func TestCityAdaptiveMatchesFixedEpochs(t *testing.T) {
 				t.Fatalf("adaptive barrier did not thin the protocol: adaptive %+v vs fixed %+v", a, f)
 			}
 		})
+	}
+}
+
+// TestCityFusedMatchesClassicLinks is the differential golden for the
+// analytic link fast path at city scale, on a ≥2-shard partition with both
+// co-located and cross-shard MAP links: the fused and classic transmit
+// paths must produce identical simulations — every per-domain row, every
+// aggregate, and the per-role link utilization — while the fused run fires
+// strictly fewer scheduler events.
+func TestCityFusedMatchesClassicLinks(t *testing.T) {
+	if !netsim.FusedLinks() {
+		t.Skip("fusion disabled via NETSIM_FUSED=0; the comparison is vacuous")
+	}
+	p := cityTestParams()
+	p.Shards = 4
+	p.Workers = 2
+	fused := RunCity(p)
+	prev := netsim.SetFusedLinks(false)
+	defer netsim.SetFusedLinks(prev)
+	classic := RunCity(p)
+
+	var fcsv, ccsv strings.Builder
+	if err := fused.WriteCSV(&fcsv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if err := classic.WriteCSV(&ccsv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if fcsv.String() != ccsv.String() {
+		t.Fatalf("per-domain results diverge:\n--- fused ---\n%s\n--- classic ---\n%s", fcsv.String(), ccsv.String())
+	}
+	type agg struct {
+		Handoffs              int
+		Grants, Refusals      uint64
+		Lost                  [3]uint64
+		MaxDelayMs, MeanDelay float64
+		SessionsLeft          int
+		DedupMH, DedupNAR     uint64
+		DupPackets, TotalSent uint64
+		CrossPorts            int
+		Links                 []CityLinkUse
+	}
+	take := func(r CityResult) agg {
+		return agg{r.Handoffs, r.Grants, r.Refusals, r.Lost, r.MaxDelayMs, r.MeanDelayMs,
+			r.SessionsLeft, r.DedupMH, r.DedupNAR, r.DupPackets, r.TotalSent, r.CrossPorts, r.Links}
+	}
+	got, want := take(fused), take(classic)
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("aggregates diverge:\n--- fused ---\n%+v\n--- classic ---\n%+v", got, want)
+	}
+	if fused.Events >= classic.Events {
+		t.Fatalf("fused run fired %d events, classic %d: fusion did not reduce the event count", fused.Events, classic.Events)
 	}
 }
 

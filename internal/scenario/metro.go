@@ -103,6 +103,11 @@ type MetroCell struct {
 	// SessionsLeft counts handoff sessions still open after the
 	// post-run drain; zero in a correct run.
 	SessionsLeft int
+	// Events is the number of scheduler events the cell's run processed —
+	// the per-cell cost axis the analytic link fast path halves on wired
+	// hops. It depends on the link transmit path (fused vs classic), never
+	// on scheduler choice or engine reuse.
+	Events uint64
 	// SafetyNet bandwidth-overhead accounting (zero for the buffering
 	// variants): anchor duplicates emitted, total packet sends, and where
 	// the redundant copies were suppressed.
@@ -233,6 +238,7 @@ func runMetroCell(p MetroParams, scheme core.Scheme, request, hosts int) MetroCe
 
 	cell := MetroCell{
 		Hosts:        hosts,
+		Events:       tb.Engine.Processed(),
 		Grants:       tb.PAR.PoolGrants() + tb.NAR.PoolGrants(),
 		Refusals:     tb.PAR.PoolRefusals() + tb.NAR.PoolRefusals(),
 		PeakNAR:      tb.NAR.PeakGrantedSessions(),
@@ -291,24 +297,24 @@ func (r MetroResult) Render() string {
 			// The bicast variant trades pool space for backhaul bandwidth,
 			// so its table carries the duplicate-traffic columns the
 			// buffering variants have no use for.
-			fmt.Fprintf(&b, "%7s%10s%8s%9s%9s%8s%8s%8s%10s%10s%10s\n",
+			fmt.Fprintf(&b, "%7s%10s%8s%9s%9s%8s%8s%8s%10s%10s%10s%12s\n",
 				"hosts", "handoffs", "grants", "refused", "exhaust",
-				"lostRT", "lostHP", "lostBE", "maxdelay", "dups", "overhead")
+				"lostRT", "lostHP", "lostBE", "maxdelay", "dups", "overhead", "events")
 			for _, c := range v.Cells {
-				fmt.Fprintf(&b, "%7d%10d%8d%9d%8.0f%%%8d%8d%8d%8.0fms%10d%9.3fx\n",
+				fmt.Fprintf(&b, "%7d%10d%8d%9d%8.0f%%%8d%8d%8d%8.0fms%10d%9.3fx%12d\n",
 					c.Hosts, c.Handoffs, c.Grants, c.Refusals, c.ExhaustionRate()*100,
 					c.Lost[0], c.Lost[1], c.Lost[2], c.MaxDelayMs,
-					c.DupPackets, c.OverheadRatio())
+					c.DupPackets, c.OverheadRatio(), c.Events)
 			}
 			continue
 		}
-		fmt.Fprintf(&b, "%7s%10s%8s%9s%9s%9s%9s%8s%8s%8s%10s\n",
+		fmt.Fprintf(&b, "%7s%10s%8s%9s%9s%9s%9s%8s%8s%8s%10s%12s\n",
 			"hosts", "handoffs", "grants", "refused", "exhaust",
-			"peakNAR", "peakPAR", "lostRT", "lostHP", "lostBE", "maxdelay")
+			"peakNAR", "peakPAR", "lostRT", "lostHP", "lostBE", "maxdelay", "events")
 		for _, c := range v.Cells {
-			fmt.Fprintf(&b, "%7d%10d%8d%9d%8.0f%%%9d%9d%8d%8d%8d%8.0fms\n",
+			fmt.Fprintf(&b, "%7d%10d%8d%9d%8.0f%%%9d%9d%8d%8d%8d%8.0fms%12d\n",
 				c.Hosts, c.Handoffs, c.Grants, c.Refusals, c.ExhaustionRate()*100,
-				c.PeakNAR, c.PeakPAR, c.Lost[0], c.Lost[1], c.Lost[2], c.MaxDelayMs)
+				c.PeakNAR, c.PeakPAR, c.Lost[0], c.Lost[1], c.Lost[2], c.MaxDelayMs, c.Events)
 		}
 	}
 	fmt.Fprintf(&b, "\ncapacity ratio (dual peakNAR / NAR-only peakNAR at %d hosts): %.2f\n",
@@ -320,16 +326,16 @@ func (r MetroResult) Render() string {
 func (r MetroResult) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "variant,hosts,handoffs,grants,refusals,exhaustion_rate,"+
 		"peak_nar,peak_par,lost_rt,lost_hp,lost_be,max_delay_ms,mean_delay_ms,sessions_left,"+
-		"dup_packets,dup_bytes,dedup_mh,dedup_nar,overhead_ratio"); err != nil {
+		"dup_packets,dup_bytes,dedup_mh,dedup_nar,overhead_ratio,events"); err != nil {
 		return err
 	}
 	for _, v := range r.Variants {
 		for _, c := range v.Cells {
-			_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%g,%d,%d,%d,%d,%d,%g,%g,%d,%d,%d,%d,%d,%g\n",
+			_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%g,%d,%d,%d,%d,%d,%g,%g,%d,%d,%d,%d,%d,%g,%d\n",
 				v.Slug, c.Hosts, c.Handoffs, c.Grants, c.Refusals, c.ExhaustionRate(),
 				c.PeakNAR, c.PeakPAR, c.Lost[0], c.Lost[1], c.Lost[2],
 				c.MaxDelayMs, c.MeanDelayMs, c.SessionsLeft,
-				c.DupPackets, c.DupBytes, c.DedupMH, c.DedupNAR, c.OverheadRatio())
+				c.DupPackets, c.DupBytes, c.DedupMH, c.DedupNAR, c.OverheadRatio(), c.Events)
 			if err != nil {
 				return err
 			}
@@ -366,6 +372,7 @@ func MetroSpec(p MetroParams) runner.Spec {
 					}
 					m["max_delay_ms_"+key] = c.MaxDelayMs
 					m["sessions_left_"+key] = float64(c.SessionsLeft)
+					m["events_"+key] = float64(c.Events)
 					if v.Scheme == core.SchemeSafetyNet {
 						m["dup_packets_"+key] = float64(c.DupPackets)
 						m["overhead_ratio_"+key] = c.OverheadRatio()

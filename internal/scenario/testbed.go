@@ -306,6 +306,11 @@ func NewTestbed(p Params) *Testbed {
 		}
 		releaseUDPChain(pkt)
 	})
+	// Impair discards (the fault injector eating a packet) are final sinks
+	// too: recycle them the same way. The injector is control-only, and
+	// control payloads stay off the pool, so today this recycles nothing —
+	// it is here so a future data-plane fault config cannot silently leak.
+	topo.HookDiscards(releaseUDPChain)
 
 	// Staggered beacons: the PAR's AP on one phase, the NAR's on another.
 	apPAR.StartAdvertising(wireless.Advertisement{Router: parRouter.Addr(), Net: NetPAR},

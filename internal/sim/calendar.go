@@ -17,7 +17,7 @@ package sim
 // workloads that barrier traffic (runtime.typedslicecopy → findObject) was
 // the single largest line in the CPU profile.
 //
-// Ordering is exactly eventLess (at, then seq) — ties land in the same
+// Ordering is exactly eventLess — ties land in the same
 // bucket (same at ⇒ same at/width) where the sorted insert keeps them in
 // seq order — so a calendar engine is bit-for-bit interchangeable with the
 // heap engine.

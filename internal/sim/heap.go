@@ -4,7 +4,7 @@ package sim
 // container/heap it avoids the `any` boxing on every push/pop and the
 // interface-dispatched Less/Swap calls; the 4-ary layout halves the tree
 // depth, trading slightly more comparisons per level for far fewer cache
-// misses on the sift path. Ordering follows eventLess (at, then seq).
+// misses on the sift path. Ordering follows eventLess.
 type heapQueue struct {
 	ev []*event
 }

@@ -9,7 +9,13 @@
 // inlined 4-ary min-heap (the default) and an ns-2-style calendar queue
 // (NewCalendarEngine) whose enqueue/dequeue cost stays O(1) when the event
 // population is well spread. Both honor the identical total order
-// (at, seq), so a simulation produces byte-identical results under either.
+// (see eventLess), so a simulation produces byte-identical results under
+// either. For events scheduled through Schedule/At that order is exactly
+// the historical (at, seq) FIFO rule; AtPinned additionally lets a caller
+// place an event at an explicit position inside an instant, so an
+// analytically computed event can land precisely where a classic
+// event-driven chain would have inserted it (see internal/netsim's fused
+// links).
 //
 // The hot path is allocation-free in steady state: fired and cancelled
 // events are recycled through a free list, and EventRefs carry a
@@ -63,8 +69,18 @@ type Handler func()
 type event struct {
 	at  Time
 	seq uint64 // insertion order, breaks ties deterministically
-	fn  Handler
-	gen uint64 // incremented every time the slot is recycled
+	// (vins, vins2, vseq2) position the event inside its instant ahead of
+	// the seq tie-break: vins is the virtual instant the event was
+	// inserted at, and (vins2, vseq2) identify the inserting context (the
+	// (vins, seq) of the event whose handler performed the insertion).
+	// For events scheduled via Schedule/At these are derived so that the
+	// total order collapses to the historical (at, seq) FIFO rule — see
+	// eventLess. AtPinned sets them explicitly.
+	vins  Time
+	vins2 Time
+	vseq2 uint64
+	fn    Handler
+	gen   uint64 // incremented every time the slot is recycled
 	// fate remembers how past occupants of this slot ended: bit k holds 1
 	// if generation gen-1-k fired (0 if it was cancelled). It lets a ref
 	// up to 64 recycles stale still report its own event's outcome.
@@ -76,12 +92,35 @@ type event struct {
 	next *event
 }
 
-// eventLess is the engine's total event order: earlier instant first,
-// scheduling order breaking ties. Both queue implementations use exactly
-// this predicate, which is what makes them interchangeable bit-for-bit.
+// eventLess is the engine's total event order: earlier instant first, then
+// insertion instant, then inserting context, then scheduling order. Both
+// queue implementations use exactly this predicate, which is what makes
+// them interchangeable bit-for-bit.
+//
+// For events scheduled only through Schedule/At the extended key is a pure
+// refinement of the historical (at, seq) rule — it never reorders them.
+// Proof sketch (induction over instants): within one instant, events fire
+// in key order; an event inserted by firing F gets vins = now and
+// (vins2, vseq2) = (F.vins, F.seq), and since firings proceed in
+// nondecreasing (vins, seq) order (the hypothesis), consecutive insertions
+// carry nondecreasing (vins, vins2, vseq2) — so among equal (at, vins) the
+// extended comparison still falls through to seq. Events inserted outside
+// any firing get (vins2, vseq2) = (now, own seq), which slots after every
+// same-instant firing context. The extension only matters for AtPinned
+// events, which use it to sort exactly where an equivalent event-driven
+// insertion would have.
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.vins != b.vins {
+		return a.vins < b.vins
+	}
+	if a.vins2 != b.vins2 {
+		return a.vins2 < b.vins2
+	}
+	if a.vseq2 != b.vseq2 {
+		return a.vseq2 < b.vseq2
 	}
 	return a.seq < b.seq
 }
@@ -198,8 +237,8 @@ var defaultKind atomic.Int32
 
 // SetDefaultScheduler selects the queue implementation NewEngine uses from
 // now on and returns the previous choice. Engines already built keep their
-// scheduler; because both kinds honor the same (at, seq) order, switching
-// never changes simulation results.
+// scheduler; because both kinds honor the same total event order,
+// switching never changes simulation results.
 func SetDefaultScheduler(k SchedulerKind) SchedulerKind {
 	return SchedulerKind(defaultKind.Swap(int32(k)))
 }
@@ -238,6 +277,16 @@ type Engine struct {
 	// recycleFn is the pre-bound recycle method value handed to the
 	// scheduler's sweep/reset, so compaction never allocates a closure.
 	recycleFn func(*event)
+	// Firing context: the full ordering key of the event whose handler is
+	// currently running inside Step. At stamps inserted events with it,
+	// and FiringKey exposes it so analytic fast paths (netsim's fused
+	// links) can resolve equal-instant ties exactly as the event-driven
+	// code would have.
+	firing   bool
+	curVins  Time
+	curVins2 Time
+	curVseq2 uint64
+	curSeq   uint64
 }
 
 // NewEngine returns an engine with its clock at zero, using the
@@ -329,12 +378,68 @@ func (e *Engine) At(at Time, fn Handler) EventRef {
 	ev := e.alloc()
 	ev.at = at
 	ev.seq = e.seq
+	ev.vins = e.now
+	if e.firing {
+		ev.vins2 = e.curVins
+		ev.vseq2 = e.curSeq
+	} else {
+		ev.vins2 = e.now
+		ev.vseq2 = ev.seq
+	}
 	ev.fn = fn
 	e.seq++
 	e.sched.push(ev)
 	e.live++
 	return EventRef{ev: ev, gen: ev.gen}
 }
+
+// AtPinned runs fn at the given absolute instant with an explicitly pinned
+// equal-instant position: vins is the instant an equivalent event-driven
+// insertion would have happened at, and (vins2, vseq2) that insertion's
+// context (see eventLess). netsim's fused links use it to schedule a
+// delivery at Send time that sorts exactly where the classic
+// txDone-then-deliver chain would have placed it. Instants in the past are
+// clamped to the current time, and the pin components are clamped to stay
+// internally consistent (vins <= at, vins2 <= vins).
+func (e *Engine) AtPinned(at, vins, vins2 Time, vseq2 uint64, fn Handler) EventRef {
+	if fn == nil {
+		panic("sim: AtPinned called with nil handler")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	if vins > at {
+		vins = at
+	}
+	if vins2 > vins {
+		vins2 = vins
+	}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.vins = vins
+	ev.vins2 = vins2
+	ev.vseq2 = vseq2
+	ev.fn = fn
+	e.seq++
+	e.sched.push(ev)
+	e.live++
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// FiringKey returns the equal-instant ordering key (vins, vins2, vseq2,
+// seq) of the event whose handler is currently running, and whether a
+// handler is running at all. Analytic fast paths compare pending phantom
+// events against this key to decide whether the event-driven equivalent
+// would already have fired at the current instant.
+func (e *Engine) FiringKey() (vins, vins2 Time, vseq2, seq uint64, firing bool) {
+	return e.curVins, e.curVins2, e.curVseq2, e.curSeq, e.firing
+}
+
+// NextSeq returns the sequence number the next scheduled event will be
+// assigned. Analytic fast paths snapshot it to reproduce the sequence slot
+// an equivalent event-driven insertion would have consumed at this point.
+func (e *Engine) NextSeq() uint64 { return e.seq }
 
 // Cancel prevents a scheduled event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op: a fired event stays
@@ -381,7 +486,10 @@ func (e *Engine) Step() bool {
 		e.live--
 		ev.fired = true
 		fn := ev.fn
+		e.firing = true
+		e.curVins, e.curVins2, e.curVseq2, e.curSeq = ev.vins, ev.vins2, ev.vseq2, ev.seq
 		fn()
+		e.firing = false
 		e.recycle(ev)
 		return true
 	}
@@ -468,4 +576,5 @@ func (e *Engine) Reset() {
 	e.stopped = false
 	e.live = 0
 	e.lazy = 0
+	e.firing = false
 }
