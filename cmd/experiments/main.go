@@ -32,6 +32,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/wireless"
 )
 
 // defaultSpecs are the headline experiments the replica fan-out runs when
@@ -62,6 +63,7 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "goroutines running city shards (0: GOMAXPROCS; any value yields byte-identical results)")
 	fixedEpochs := fs.Bool("fixed-epochs", false, "run the city shard barrier in fixed-width epoch mode (the adaptive baseline; results are identical)")
 	fused := fs.Bool("fused", netsim.FusedLinks(), "analytic link transmit path: one scheduler event per wired hop instead of two (results are identical; -fused=false is the classic baseline)")
+	fusedAir := fs.Bool("fused-air", wireless.FusedAir(), "analytic radio transmit path: one scheduler event per air frame instead of two (results are identical; -fused-air=false is the classic baseline, also selected by WIRELESS_FUSED=0)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := fs.String("trace", "", "write a runtime execution trace to this file")
@@ -79,6 +81,7 @@ func run(args []string, stdout io.Writer) error {
 	scenario.SetDefaultCityWorkers(*workers)
 	scenario.SetDefaultCityFixedEpochs(*fixedEpochs)
 	netsim.SetFusedLinks(*fused)
+	wireless.SetFusedAir(*fusedAir)
 	stopProfiles, err := prof.Start(*cpuProfile, *memProfile, *traceOut)
 	if err != nil {
 		return err

@@ -497,6 +497,13 @@ func (c *city) addHost(dom *cityDomain, i int, rcoaHost inet.HostID) {
 			AirDelay:       sim.Millisecond,
 			L2HandoffDelay: 200 * sim.Millisecond,
 		})
+	// Station-side uplink losses mirror the APs' AirDropHook accounting.
+	station.TxDropHook = func(pkt *inet.Packet) {
+		if pkt.Innermost().Proto != inet.ProtoControl {
+			dom.recorder.DroppedSite(pkt, stats.SiteAirUplink)
+		}
+		releaseChain(dom.topo, pkt)
+	}
 	mh := core.NewMobileHost(dom.engine, station, rcoa, dom.anchor.router.Addr(), core.MHConfig{
 		HostID:        inet.HostID(10 + i),
 		Scheme:        p.Scheme,
@@ -618,6 +625,17 @@ type CityResult struct {
 	// counted by txDone events, so it renders into the golden output as the
 	// observable check on the fused counter reconstruction.
 	Links []CityLinkUse
+	// Air aggregates the radio data plane across all domains: downlink
+	// frames the APs serialized onto the air and dropped undeliverable,
+	// uplink frames the stations serialized and discarded. With the fused
+	// air path these are reconstructed lazily from the departure rings
+	// rather than counted by txDone events; they are identical in both air
+	// modes, so they render into the golden output as the observable check
+	// on the fused counter reconstruction.
+	AirDownSent  uint64
+	AirDownDrops uint64
+	AirUpSent    uint64
+	AirUpDrops   uint64
 	// Barrier holds the shard group's synchronization counters and
 	// Flushes/ElidedFlushes the exchange's — all pure functions of the
 	// model for a fixed shard count and epoch mode, so they render into
@@ -703,9 +721,14 @@ func RunCity(p CityParams) CityResult {
 			PeakPAR:      dom.par.PeakGrantedSessions(),
 			SessionsLeft: dom.par.Sessions() + dom.nar.Sessions(),
 		}
+		res.AirDownSent += dom.apPAR.Sent() + dom.apNAR.Sent()
+		res.AirDownDrops += dom.apPAR.AirDrops() + dom.apNAR.AirDrops()
 		var rowMeanSum float64
 		var rowMeanN int
 		for _, h := range dom.hosts {
+			st := h.mh.Station()
+			res.AirUpSent += st.Sent()
+			res.AirUpDrops += st.TxDrops()
 			row.Handoffs += len(h.mh.Handoffs())
 			f := dom.recorder.Flow(h.flow)
 			if f == nil {
@@ -793,6 +816,10 @@ func (r CityResult) Render() string {
 		app("%10s%12d sent%12d delivered%10d dropped\n",
 			lu.Role, lu.Sent, lu.Delivered, lu.Dropped)
 	}
+	// Radio data plane, all domains summed: identical in both air modes
+	// (the fused path reconstructs the counters from its departure rings).
+	app("air: downlink %d sent %d dropped, uplink %d sent %d dropped\n",
+		r.AirDownSent, r.AirDownDrops, r.AirUpSent, r.AirUpDrops)
 	// Barrier efficiency (absent for a single shard, where the run is the
 	// serial engine and the counters are all zero by construction).
 	if r.Shards > 1 {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/wireless"
 )
 
 // cityTestParams is a reduced city that still exercises every moving part:
@@ -299,6 +300,59 @@ func TestCityFusedMatchesClassicLinks(t *testing.T) {
 	}
 	if fused.Events >= classic.Events {
 		t.Fatalf("fused run fired %d events, classic %d: fusion did not reduce the event count", fused.Events, classic.Events)
+	}
+}
+
+// TestCityFusedAirMatchesClassic is the radio twin of
+// TestCityFusedMatchesClassicLinks: the analytic air transmit path must
+// produce a simulation identical to the classic two-event radio — every
+// per-domain row, every aggregate, the link utilization, and the air-plane
+// counters — while firing strictly fewer scheduler events.
+func TestCityFusedAirMatchesClassic(t *testing.T) {
+	if !wireless.FusedAir() {
+		t.Skip("air fusion disabled via WIRELESS_FUSED=0; the comparison is vacuous")
+	}
+	p := cityTestParams()
+	p.Shards = 4
+	p.Workers = 2
+	fused := RunCity(p)
+	prev := wireless.SetFusedAir(false)
+	defer wireless.SetFusedAir(prev)
+	classic := RunCity(p)
+
+	var fcsv, ccsv strings.Builder
+	if err := fused.WriteCSV(&fcsv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if err := classic.WriteCSV(&ccsv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if fcsv.String() != ccsv.String() {
+		t.Fatalf("per-domain results diverge:\n--- fused ---\n%s\n--- classic ---\n%s", fcsv.String(), ccsv.String())
+	}
+	type agg struct {
+		Handoffs              int
+		Grants, Refusals      uint64
+		Lost                  [3]uint64
+		MaxDelayMs, MeanDelay float64
+		SessionsLeft          int
+		DedupMH, DedupNAR     uint64
+		DupPackets, TotalSent uint64
+		CrossPorts            int
+		Links                 []CityLinkUse
+		Air                   [4]uint64
+	}
+	take := func(r CityResult) agg {
+		return agg{r.Handoffs, r.Grants, r.Refusals, r.Lost, r.MaxDelayMs, r.MeanDelayMs,
+			r.SessionsLeft, r.DedupMH, r.DedupNAR, r.DupPackets, r.TotalSent, r.CrossPorts, r.Links,
+			[4]uint64{r.AirDownSent, r.AirDownDrops, r.AirUpSent, r.AirUpDrops}}
+	}
+	got, want := take(fused), take(classic)
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("aggregates diverge:\n--- fused ---\n%+v\n--- classic ---\n%+v", got, want)
+	}
+	if fused.Events >= classic.Events {
+		t.Fatalf("fused air run fired %d events, classic %d: fusion did not reduce the event count", fused.Events, classic.Events)
 	}
 }
 

@@ -170,6 +170,10 @@ type Testbed struct {
 	narAPL *netsim.Link
 	arLink *netsim.Link
 
+	// releaseUDP recycles a dead UDP data chain into the topology's pool;
+	// AddMobileHost chains it behind each station's TxDropHook.
+	releaseUDP func(pkt *inet.Packet)
+
 	// Faults is the control-plane loss injector, nil unless
 	// Params.ControlLossRate is positive.
 	Faults *netsim.FaultInjector
@@ -347,6 +351,8 @@ func NewTestbed(p Params) *Testbed {
 		narAPL:   narAPLink,
 		arLink:   arLink,
 		Faults:   faults,
+
+		releaseUDP: releaseUDPChain,
 	}
 }
 
@@ -370,6 +376,14 @@ func (tb *Testbed) AddMobileHost(motion wireless.Motion, flows []FlowSpec) *MHUn
 		AirDelay:       sim.Millisecond,
 		L2HandoffDelay: tb.Params.L2HandoffDelay,
 	})
+	// Station-side uplink losses (detached sends, queue overflow, NIC-reset
+	// flush) mirror the AP's AirDropHook accounting.
+	station.TxDropHook = func(pkt *inet.Packet) {
+		if pkt.Innermost().Proto != inet.ProtoControl {
+			tb.Recorder.DroppedSite(pkt, stats.SiteAirUplink)
+		}
+		tb.releaseUDP(pkt)
+	}
 	mh := core.NewMobileHost(tb.Engine, station, rcoa, anchor.Router().Addr(), core.MHConfig{
 		HostID:            hostID,
 		Scheme:            tb.Params.Scheme,

@@ -163,6 +163,11 @@ func NewWLANTestbed(p WLANParams) *WLANTestbed {
 			AirDelay:       sim.Millisecond,
 			L2HandoffDelay: p.L2HandoffDelay,
 		})
+	station.TxDropHook = func(pkt *inet.Packet) {
+		if pkt.Innermost().Proto != inet.ProtoControl {
+			recorder.DroppedSite(pkt, stats.SiteAirUplink)
+		}
+	}
 	bufReq := 0
 	if p.Buffered {
 		bufReq = p.BufferRequest

@@ -396,9 +396,9 @@ func (e *Engine) At(at Time, fn Handler) EventRef {
 // AtPinned runs fn at the given absolute instant with an explicitly pinned
 // equal-instant position: vins is the instant an equivalent event-driven
 // insertion would have happened at, and (vins2, vseq2) that insertion's
-// context (see eventLess). netsim's fused links use it to schedule a
-// delivery at Send time that sorts exactly where the classic
-// txDone-then-deliver chain would have placed it. Instants in the past are
+// context (see eventLess). netsim's fused links and wireless's fused air
+// transmit use it to schedule a delivery at Send time that sorts exactly
+// where the classic txDone-then-deliver chain would have placed it. Instants in the past are
 // clamped to the current time, and the pin components are clamped to stay
 // internally consistent (vins <= at, vins2 <= vins).
 func (e *Engine) AtPinned(at, vins, vins2 Time, vseq2 uint64, fn Handler) EventRef {

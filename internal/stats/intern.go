@@ -34,6 +34,10 @@ const (
 	SiteAir
 	// SiteLinkQueue is a tail drop on a wired link's transmit queue.
 	SiteLinkQueue
+	// SiteAirUplink is an uplink packet discarded by a station's radio:
+	// sent while detached, uplink queue overflow, or the NIC-reset queue
+	// flush on link-down.
+	SiteAirUplink
 
 	numCanonicalSites
 )
@@ -56,6 +60,7 @@ var (
 		SiteLifetime:  "lifetime",
 		SiteAir:       "air",
 		SiteLinkQueue: "link-queue",
+		SiteAirUplink: "air-uplink",
 	}
 )
 

@@ -58,16 +58,24 @@ type AccessPoint struct {
 	medium *Medium
 	wired  *netsim.Iface
 
-	// Downlink shared transmitter state. txPkt/inflight/txDoneFn/airFn
-	// mirror netsim.Iface's zero-alloc transmit: handlers are pre-bound
-	// once and frames propagate through a FIFO (AirDelay is constant, so
-	// arrivals complete in transmission order).
+	// fused selects the analytic downlink transmit path; latched at
+	// construction from FusedAir.
+	fused bool
+
+	// Classic two-event downlink transmitter state (WIRELESS_FUSED=0).
+	// txPkt/inflight/txDoneFn/airFn mirror netsim.Iface's zero-alloc
+	// transmit: handlers are pre-bound once and frames propagate through a
+	// FIFO (AirDelay is constant, so arrivals complete in transmission
+	// order). The in-flight FIFO is shared with the fused path.
 	busy     bool
-	queue    []*inet.Packet
+	queue    fifo[*inet.Packet]
 	txPkt    *inet.Packet
-	inflight []*inet.Packet
+	inflight fifo[*inet.Packet]
 	txDoneFn sim.Handler
 	airFn    sim.Handler
+
+	// Analytic downlink transmit state (DESIGN.md §13).
+	clock airClock
 
 	airDrops uint64
 	// AirDropHook observes packets transmitted while the destination
@@ -81,7 +89,9 @@ type AccessPoint struct {
 
 // NewAccessPoint creates an access point and registers it with the medium.
 func NewAccessPoint(name string, medium *Medium, cfg APConfig) *AccessPoint {
-	ap := &AccessPoint{name: name, cfg: cfg, engine: medium.engine, medium: medium}
+	// Zero-bandwidth radios always take the classic path (see fused.go).
+	ap := &AccessPoint{name: name, cfg: cfg, engine: medium.engine, medium: medium,
+		fused: FusedAir() && cfg.BandwidthBPS > 0}
 	ap.txDoneFn = ap.txDone
 	ap.airFn = ap.airArrive
 	medium.addAP(ap)
@@ -102,8 +112,26 @@ func (ap *AccessPoint) Covers(pos float64) bool {
 // AirDrops counts downlink packets lost because no station accepted them.
 func (ap *AccessPoint) AirDrops() uint64 { return ap.airDrops }
 
-// QueueLen returns the number of packets waiting on the downlink.
-func (ap *AccessPoint) QueueLen() int { return len(ap.queue) }
+// Sent counts downlink frames fully serialized onto the air.
+func (ap *AccessPoint) Sent() uint64 {
+	if ap.fused {
+		ap.clock.drain(ap.engine)
+	}
+	return ap.clock.sent
+}
+
+// QueueLen returns the number of packets waiting on the downlink behind
+// the frame being serialized.
+func (ap *AccessPoint) QueueLen() int {
+	if ap.fused {
+		ap.clock.drain(ap.engine)
+		if m := ap.clock.occupancy(); m > 0 {
+			return m - 1
+		}
+		return 0
+	}
+	return ap.queue.Len()
+}
 
 // AttachIface is invoked by netsim.Connect; it records the wired uplink
 // toward the access router.
@@ -130,10 +158,12 @@ func (ap *AccessPoint) StopAdvertising() {
 }
 
 // beacon delivers the advertisement to every station currently in coverage,
-// associated or not.
+// associated or not. The medium's position-bucket index narrows the scan to
+// stations that can possibly be inside [Pos-Radius, Pos+Radius]; candidates
+// are visited in registration order, exactly like the classic full scan.
 func (ap *AccessPoint) beacon() {
 	now := ap.engine.Now()
-	for _, s := range ap.medium.stations {
+	for _, s := range ap.medium.buckets.candidates(ap.medium, ap.cfg.Pos, ap.cfg.Radius) {
 		if s.hearsBeacons() && ap.Covers(s.Pos(now)) {
 			s.deliverRA(ap.adv)
 		}
@@ -146,24 +176,52 @@ func (ap *AccessPoint) HandlePacket(in *netsim.Iface, pkt *inet.Packet) {
 	ap.transmitDown(pkt)
 }
 
+func (ap *AccessPoint) queueLimit() int {
+	if ap.cfg.QueueLimit == 0 {
+		return netsim.DefaultQueueLimit
+	}
+	return ap.cfg.QueueLimit
+}
+
+// dropAir discards a downlink packet the radio could not serve.
+func (ap *AccessPoint) dropAir(pkt *inet.Packet) {
+	ap.airDrops++
+	if ap.AirDropHook != nil {
+		ap.AirDropHook(pkt)
+	}
+}
+
 // transmitDown serializes pkt on the shared downlink.
 func (ap *AccessPoint) transmitDown(pkt *inet.Packet) {
+	if ap.fused {
+		ap.sendFused(pkt)
+		return
+	}
 	if ap.busy {
-		limit := ap.cfg.QueueLimit
-		if limit == 0 {
-			limit = netsim.DefaultQueueLimit
-		}
-		if len(ap.queue) >= limit {
-			ap.airDrops++
-			if ap.AirDropHook != nil {
-				ap.AirDropHook(pkt)
-			}
+		if ap.queue.Len() >= ap.queueLimit() {
+			ap.dropAir(pkt)
 			return
 		}
-		ap.queue = append(ap.queue, pkt)
+		ap.queue.Push(pkt)
 		return
 	}
 	ap.startTx(pkt)
+}
+
+// sendFused admits a packet on the analytic downlink: one pre-bound
+// delivery event at the instant the classic path's airArrive would fire,
+// pinned at the same virtual key. The AP never detaches, so no repair
+// machinery is needed (compare Station.nicReset).
+func (ap *AccessPoint) sendFused(pkt *inet.Packet) {
+	ap.clock.drain(ap.engine)
+	if m := ap.clock.occupancy(); m > 0 && m-1 >= ap.queueLimit() {
+		ap.dropAir(pkt)
+		return
+	}
+	start, dep, idx := ap.clock.push(ap.engine, pkt.Size, ap.cfg.BandwidthBPS)
+	ent := &ap.clock.ring[idx]
+	ap.inflight.Push(pkt)
+	ent.ref = ap.engine.AtPinned(dep+ap.cfg.AirDelay, dep, start, ent.pseq, ap.airFn)
 }
 
 func (ap *AccessPoint) startTx(pkt *inet.Packet) {
@@ -179,55 +237,43 @@ func (ap *AccessPoint) startTx(pkt *inet.Packet) {
 // txDone fires when the current frame finishes serializing: it goes on the
 // air and the next queued frame starts transmitting.
 func (ap *AccessPoint) txDone() {
-	ap.inflight = append(ap.inflight, ap.txPkt)
+	ap.clock.sent++
+	ap.inflight.Push(ap.txPkt)
+	ap.txPkt = nil
 	ap.engine.Schedule(ap.cfg.AirDelay, ap.airFn)
-	if len(ap.queue) > 0 {
-		next := ap.queue[0]
-		copy(ap.queue, ap.queue[1:])
-		ap.queue = ap.queue[:len(ap.queue)-1]
-		ap.busy = false
-		ap.startTx(next)
-	} else {
-		ap.busy = false
+	ap.busy = false
+	if ap.queue.Len() > 0 {
+		ap.startTx(ap.queue.Pop())
 	}
 }
 
-// airArrive fires one air delay after txDone; the constant delay keeps the
-// in-flight FIFO in arrival order.
+// airArrive fires one air delay after the frame departs; the constant
+// delay keeps the in-flight FIFO in arrival order. Both transmit paths
+// share this handler: the fused path pre-binds it per frame via AtPinned.
 func (ap *AccessPoint) airArrive() {
-	pkt := ap.inflight[0]
-	copy(ap.inflight, ap.inflight[1:])
-	ap.inflight[len(ap.inflight)-1] = nil
-	ap.inflight = ap.inflight[:len(ap.inflight)-1]
-	ap.deliver(pkt)
+	ap.deliver(ap.inflight.Pop())
 }
 
 // deliver hands the frame to the associated, in-coverage station that
 // accepts the destination address. Undeliverable frames are either
 // returned to the router (once, when configured) or counted as air drops.
+// The medium's addr index names the sole station accepting pkt.Dst
+// (addresses are single-owner, see Medium.claimAddr), so delivery checks
+// one candidate instead of scanning the population; association, radio
+// state, and coverage are evaluated on it at the arrival instant exactly
+// as the classic scan did.
 func (ap *AccessPoint) deliver(pkt *inet.Packet) {
-	now := ap.engine.Now()
-	for _, s := range ap.medium.stations {
-		if s.ap != ap || !s.CanReceive() {
-			continue
-		}
-		if !ap.Covers(s.Pos(now)) {
-			continue
-		}
-		if s.accepts(pkt.Dst) {
-			s.deliverPacket(pkt)
-			return
-		}
+	if s := ap.medium.addrIndex[pkt.Dst]; s != nil &&
+		s.ap == ap && s.CanReceive() && ap.Covers(s.Pos(ap.engine.Now())) {
+		s.deliverPacket(pkt)
+		return
 	}
 	if ap.cfg.ReturnUndeliverable && !pkt.Requeued && ap.wired != nil {
 		pkt.Requeued = true
 		ap.wired.Send(pkt)
 		return
 	}
-	ap.airDrops++
-	if ap.AirDropHook != nil {
-		ap.AirDropHook(pkt)
-	}
+	ap.dropAir(pkt)
 }
 
 // sendUp bridges an uplink frame from a station onto the wired network.

@@ -1,0 +1,212 @@
+package wireless
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// defaultBucketWidth sizes position buckets when no AP is registered yet;
+// it matches the thesis' 112 m coverage radius. Any positive width is
+// correct — candidate lookup covers [pos-radius, pos+radius] regardless —
+// radius-sized buckets just keep the per-beacon bucket count at ~3.
+const defaultBucketWidth = 112.0
+
+// crossEntry is one pending bucket-boundary crossing in the settle heap.
+type crossEntry struct {
+	at sim.Time
+	s  *Station
+}
+
+// bucketIndex buckets stations by position so a beacon visits only the
+// stations that can possibly be in coverage, instead of the whole medium.
+// Buckets are advanced lazily: each indexed station carries a heap entry
+// at (a conservative lower bound on) the instant its analytic Motion next
+// leaves its bucket interval, and settle re-buckets every station whose
+// entry has come due before a scan. Hints may be early — settle simply
+// recomputes the true bucket and re-arms — but never late, so a settled
+// index always reflects true positions. Motions that do not implement
+// BoundaryCrosser fall back to an unindexed list scanned on every beacon.
+//
+// Invariants after settle(now):
+//   - every indexed station s is in buckets[floor(s.Pos(now)/width)];
+//   - every bucket list is sorted by station id (= registration order), so a
+//     merged candidate scan visits stations in exactly the order the
+//     classic full scan did.
+type bucketIndex struct {
+	width     float64
+	buckets   map[int][]*Station
+	heap      []crossEntry
+	unindexed []*Station
+
+	// Reusable scratch for candidate collection (no per-beacon allocs).
+	scratch []*Station
+	lists   [][]*Station
+	cursors []int
+}
+
+// add registers a newly created station with the index. The bucket width
+// is latched from the widest AP radius seen at first registration.
+func (bi *bucketIndex) add(m *Medium, s *Station) {
+	if bi.buckets == nil {
+		bi.buckets = make(map[int][]*Station)
+		bi.width = defaultBucketWidth
+		for _, ap := range m.aps {
+			if ap.cfg.Radius > bi.width {
+				bi.width = ap.cfg.Radius
+			}
+		}
+	}
+	bc, ok := s.motion.(BoundaryCrosser)
+	if !ok {
+		bi.unindexed = append(bi.unindexed, s)
+		return
+	}
+	s.crosser = bc
+	bi.place(m, s, m.engine.Now())
+}
+
+func (bi *bucketIndex) bucketOf(pos float64) int {
+	return int(math.Floor(pos / bi.width))
+}
+
+// place buckets s at its position now and arms its next-crossing entry.
+func (bi *bucketIndex) place(m *Medium, s *Station, now sim.Time) {
+	b := bi.bucketOf(s.Pos(now))
+	s.bucket = b
+	bi.insert(b, s)
+	lo := float64(b) * bi.width
+	if at, ok := s.crosser.NextBoundary(now, lo, lo+bi.width); ok {
+		if at <= now {
+			at = now + 1 // force progress on an early (or clamped) hint
+		}
+		bi.push(crossEntry{at: at, s: s})
+	}
+}
+
+// settle re-buckets every station whose crossing hint has come due.
+func (bi *bucketIndex) settle(m *Medium) {
+	now := m.engine.Now()
+	for len(bi.heap) > 0 && bi.heap[0].at <= now {
+		s := bi.pop().s
+		bi.remove(s.bucket, s)
+		bi.place(m, s, now)
+	}
+}
+
+// candidates returns the stations that can possibly be inside
+// [pos-radius, pos+radius], in registration order (the classic scan
+// order). The ±1 bucket pad absorbs boundary float error. The returned
+// slice is scratch storage owned by the index, valid until the next call;
+// callers must not register stations while iterating it.
+func (bi *bucketIndex) candidates(m *Medium, pos, radius float64) []*Station {
+	bi.settle(m)
+	bi.lists = bi.lists[:0]
+	if len(bi.buckets) > 0 {
+		lo := bi.bucketOf(pos-radius) - 1
+		hi := bi.bucketOf(pos+radius) + 1
+		for b := lo; b <= hi; b++ {
+			if l := bi.buckets[b]; len(l) > 0 {
+				bi.lists = append(bi.lists, l)
+			}
+		}
+	}
+	if len(bi.unindexed) > 0 {
+		bi.lists = append(bi.lists, bi.unindexed)
+	}
+	if len(bi.lists) == 1 {
+		return bi.lists[0]
+	}
+	// Merge the id-sorted lists so candidates come out in registration
+	// order, byte-identical to the classic full scan over the subset.
+	bi.scratch = bi.scratch[:0]
+	bi.cursors = bi.cursors[:0]
+	for range bi.lists {
+		bi.cursors = append(bi.cursors, 0)
+	}
+	for {
+		best, bestID := -1, 0
+		for li, l := range bi.lists {
+			if c := bi.cursors[li]; c < len(l) {
+				if id := l[c].id; best < 0 || id < bestID {
+					best, bestID = li, id
+				}
+			}
+		}
+		if best < 0 {
+			return bi.scratch
+		}
+		bi.scratch = append(bi.scratch, bi.lists[best][bi.cursors[best]])
+		bi.cursors[best]++
+	}
+}
+
+// insert adds s to bucket b's id-sorted list.
+func (bi *bucketIndex) insert(b int, s *Station) {
+	l := bi.buckets[b]
+	i := len(l)
+	for i > 0 && l[i-1].id > s.id {
+		i--
+	}
+	l = append(l, nil)
+	copy(l[i+1:], l[i:])
+	l[i] = s
+	bi.buckets[b] = l
+}
+
+// remove deletes s from bucket b's list, preserving order.
+func (bi *bucketIndex) remove(b int, s *Station) {
+	l := bi.buckets[b]
+	for i, x := range l {
+		if x == s {
+			copy(l[i:], l[i+1:])
+			l[len(l)-1] = nil
+			bi.buckets[b] = l[:len(l)-1]
+			return
+		}
+	}
+	panic("wireless: station missing from its position bucket")
+}
+
+func crossLess(a, b crossEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.s.id < b.s.id
+}
+
+func (bi *bucketIndex) push(e crossEntry) {
+	bi.heap = append(bi.heap, e)
+	i := len(bi.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !crossLess(bi.heap[i], bi.heap[p]) {
+			break
+		}
+		bi.heap[i], bi.heap[p] = bi.heap[p], bi.heap[i]
+		i = p
+	}
+}
+
+func (bi *bucketIndex) pop() crossEntry {
+	top := bi.heap[0]
+	last := len(bi.heap) - 1
+	bi.heap[0] = bi.heap[last]
+	bi.heap[last] = crossEntry{}
+	bi.heap = bi.heap[:last]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < len(bi.heap) && crossLess(bi.heap[l], bi.heap[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < len(bi.heap) && crossLess(bi.heap[r], bi.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		bi.heap[i], bi.heap[small] = bi.heap[small], bi.heap[i]
+		i = small
+	}
+}

@@ -22,11 +22,28 @@ type Motion interface {
 	Pos(at sim.Time) float64
 }
 
+// BoundaryCrosser is implemented by motions that can report when they next
+// leave a position interval. The medium's beacon index (bucket.go) uses it
+// to advance station buckets lazily instead of recomputing every position
+// on every beacon. The returned instant must not be later than the first
+// t > after with Pos(t) outside [lo, hi) — early hints are simply
+// re-settled, late ones would let a beacon consult a stale bucket —
+// and ok=false means the motion never leaves the interval after `after`.
+// Motions without this method still work; their stations are scanned on
+// every beacon.
+type BoundaryCrosser interface {
+	NextBoundary(after sim.Time, lo, hi float64) (at sim.Time, ok bool)
+}
+
 // Fixed is a stationary position.
 type Fixed float64
 
 // Pos implements Motion.
 func (f Fixed) Pos(sim.Time) float64 { return float64(f) }
+
+// NextBoundary implements BoundaryCrosser: a fixed station never leaves
+// its bucket.
+func (f Fixed) NextBoundary(sim.Time, float64, float64) (sim.Time, bool) { return 0, false }
 
 // Linear moves from Start at Speed m/s (negative speed moves backward),
 // beginning at instant From. Before From the station sits at Start.
@@ -42,6 +59,30 @@ func (l Linear) Pos(at sim.Time) float64 {
 		return l.Start
 	}
 	return l.Start + l.Speed*(at-l.From).Seconds()
+}
+
+// NextBoundary implements BoundaryCrosser: the crossing instant solves
+// Start + Speed·(t-From) = lo|hi in the direction of travel. The result is
+// truncated and nudged 1 ns early so float rounding can never report a
+// crossing late.
+func (l Linear) NextBoundary(after sim.Time, lo, hi float64) (sim.Time, bool) {
+	if l.Speed == 0 {
+		return 0, false
+	}
+	base := after
+	if base < l.From {
+		base = l.From
+	}
+	target := hi
+	if l.Speed < 0 {
+		target = lo
+	}
+	dt := (target - l.Start) / l.Speed // seconds since From
+	t := l.From + sim.Time(math.Floor(dt*float64(sim.Second))) - 1
+	if t <= base {
+		t = base + 1
+	}
+	return t, true
 }
 
 // PingPong bounces between A and B at Speed m/s, starting at A (moving
@@ -72,6 +113,63 @@ func (p PingPong) Pos(at sim.Time) float64 {
 		return p.A + offset
 	}
 	return p.A - offset
+}
+
+// NextBoundary implements BoundaryCrosser by scanning the piecewise-linear
+// legs from `after`. A bounded orbit that stays inside [lo, hi) never
+// crosses; otherwise the exit happens within one full period, so at most
+// four legs (partial current leg included) need inspection. Results carry
+// the same 1 ns-early conservatism as Linear.
+func (p PingPong) NextBoundary(after sim.Time, lo, hi float64) (sim.Time, bool) {
+	span := math.Abs(p.B - p.A)
+	if span == 0 || p.Speed <= 0 {
+		return 0, false
+	}
+	if math.Min(p.A, p.B) >= lo && math.Max(p.A, p.B) < hi {
+		return 0, false // the whole orbit stays inside the interval
+	}
+	base := after
+	if base < p.From {
+		base = p.From
+	}
+	leg := p.LegDuration()
+	k := int64((base - p.From) / leg)
+	for i := int64(0); i < 4; i++ {
+		t0 := p.From + sim.Time(k+int64(i))*leg
+		t1 := t0 + leg
+		from := t0
+		if base > from {
+			from = base
+		}
+		pos := p.Pos(from)
+		if pos < lo || pos >= hi {
+			return from, true // already outside (caller clamps for progress)
+		}
+		// Within a leg the motion is linear; it can only exit through the
+		// boundary in its direction of travel.
+		dir := 1.0
+		if (k+int64(i))%2 == 1 {
+			dir = -1
+		}
+		if p.B < p.A {
+			dir = -dir
+		}
+		target := hi
+		if dir < 0 {
+			target = lo
+		}
+		dt := (target - pos) / (dir * p.Speed)
+		if dt < 0 {
+			dt = 0
+		}
+		tc := from + sim.Time(math.Floor(dt*float64(sim.Second))) - 1
+		if tc <= t1 {
+			return tc, true
+		}
+	}
+	// Unreachable for a well-formed orbit (the exit lies within one
+	// period); report an immediate re-settle rather than a stale bucket.
+	return base, true
 }
 
 // LegDuration returns the time one A→B (or B→A) leg takes.

@@ -1,0 +1,68 @@
+package wireless
+
+// fifo is a growable power-of-two ring buffer used for the radio transmit
+// queues and in-flight FIFOs. Dequeue is O(1) — no copy-shift — and every
+// vacated slot is zeroed so a drained frame is never retained by the
+// buffer (pooled packets must have exactly one owner).
+type fifo[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of buffered elements.
+func (f *fifo[T]) Len() int { return f.n }
+
+// Push appends v at the tail.
+func (f *fifo[T]) Push(v T) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = v
+	f.n++
+}
+
+// Pop removes and returns the head element, zeroing its slot.
+func (f *fifo[T]) Pop() T {
+	if f.n == 0 {
+		panic("wireless: Pop on empty fifo")
+	}
+	var zero T
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
+	return v
+}
+
+// At returns the i-th element from the head without removing it.
+func (f *fifo[T]) At(i int) T {
+	if i < 0 || i >= f.n {
+		panic("wireless: fifo index out of range")
+	}
+	return f.buf[(f.head+i)&(len(f.buf)-1)]
+}
+
+// DropTail removes the k newest elements, zeroing their slots.
+func (f *fifo[T]) DropTail(k int) {
+	if k > f.n {
+		panic("wireless: DropTail past fifo head")
+	}
+	var zero T
+	for ; k > 0; k-- {
+		f.n--
+		f.buf[(f.head+f.n)&(len(f.buf)-1)] = zero
+	}
+}
+
+func (f *fifo[T]) grow() {
+	size := len(f.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]T, size)
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+	}
+	f.buf, f.head = nb, 0
+}
